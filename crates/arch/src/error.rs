@@ -1,0 +1,34 @@
+//! Error type for `lori-arch`.
+
+use std::fmt;
+
+/// Errors produced by program construction and campaign configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchError {
+    /// A register index was out of range.
+    BadRegister(u8),
+    /// A program was empty.
+    EmptyProgram,
+    /// A campaign was configured with zero trials.
+    NoTrials,
+    /// A fault target refers to state that does not exist.
+    BadFaultTarget(String),
+    /// A protection configuration referenced an instruction out of range.
+    BadProtectionIndex(usize),
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::BadRegister(r) => write!(f, "register r{r} out of range"),
+            ArchError::EmptyProgram => write!(f, "program must contain at least one instruction"),
+            ArchError::NoTrials => write!(f, "campaign needs at least one trial"),
+            ArchError::BadFaultTarget(what) => write!(f, "invalid fault target: {what}"),
+            ArchError::BadProtectionIndex(i) => {
+                write!(f, "protected instruction index {i} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}

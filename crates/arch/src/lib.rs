@@ -1,0 +1,31 @@
+//! # lori-arch
+//!
+//! Architectural reliability substrate for LORI, implementing Sec. III of
+//! the paper:
+//!
+//! - [`isa`] — a small RISC-style instruction set;
+//! - [`cpu`] — an architectural simulator with registers, PC, and memory,
+//!   plus optional shadow-register replication and symptom monitors;
+//! - [`workload`] — real little programs (matrix multiply, sort, checksum,
+//!   dot product, Fibonacci) used as injection targets;
+//! - [`fault`] — bit-flip fault injection campaigns with outcome
+//!   classification (Masked / SDC / Crash / Hang / Detected) and AVF
+//!   estimation;
+//! - [`features`] — structural feature extraction for registers
+//!   ("flip-flops") and instructions, feeding the ML predictors;
+//! - [`predict`] — dataset builders for vulnerability prediction (the
+//!   ref-\[20\] "train on 20 % of injections" experiment and the ref-\[24\]
+//!   SDC-proneness experiment);
+//! - [`protect`] — selective instruction replication (IPAS-style, ref \[27\])
+//!   and symptom-based detection (ref \[29\]).
+
+pub mod cpu;
+pub mod error;
+pub mod fault;
+pub mod features;
+pub mod isa;
+pub mod predict;
+pub mod protect;
+pub mod workload;
+
+pub use error::ArchError;

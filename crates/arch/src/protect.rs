@@ -1,0 +1,279 @@
+//! Protection mechanisms and their evaluation.
+//!
+//! - **Selective replication** (IPAS-style, ref \[27\]): protect only the
+//!   instructions an ML classifier flags as SDC-prone, trading coverage for
+//!   slowdown. [`evaluate_protection`] measures both.
+//! - **Symptom-based detection** (ref \[29\]): watch executions for
+//!   value-range anomalies learned from golden traces; cheap but prone to
+//!   under-protection, which experiment E8/E10 quantifies.
+
+use crate::cpu::{Cpu, CpuConfig, ExecResult, Protection, StopReason};
+use crate::error::ArchError;
+use crate::fault::{classify, FaultSpec, FaultTarget, Outcome, OutcomeCounts};
+use crate::isa::{Program, NUM_REGS};
+use lori_core::Rng;
+
+/// Coverage/overhead report for a protection configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtectionReport {
+    /// Outcome tallies with the protection active.
+    pub counts: OutcomeCounts,
+    /// Fault-free cycles without protection.
+    pub baseline_cycles: u64,
+    /// Fault-free cycles with protection (replication + compare overhead).
+    pub protected_cycles: u64,
+}
+
+impl ProtectionReport {
+    /// Execution-time overhead of the protection (fraction over baseline).
+    #[must_use]
+    pub fn overhead(&self) -> f64 {
+        if self.baseline_cycles == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.protected_cycles as f64 / self.baseline_cycles as f64 - 1.0
+            }
+        }
+    }
+
+    /// SDC rate under this protection.
+    #[must_use]
+    pub fn sdc_rate(&self) -> f64 {
+        self.counts.fraction(Outcome::Sdc)
+    }
+
+    /// Detection rate among non-masked faults.
+    #[must_use]
+    pub fn detection_rate(&self) -> f64 {
+        let non_masked = self.counts.total() - self.counts.count(Outcome::Masked);
+        if non_masked == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.counts.count(Outcome::Detected) as f64 / non_masked as f64
+            }
+        }
+    }
+}
+
+/// Evaluates a protection configuration with a random register campaign.
+///
+/// # Errors
+///
+/// Returns [`ArchError::NoTrials`] for `n == 0`.
+pub fn evaluate_protection(
+    program: &Program,
+    config: &CpuConfig,
+    protection: &Protection,
+    n: usize,
+    seed: u64,
+) -> Result<ProtectionReport, ArchError> {
+    if n == 0 {
+        return Err(ArchError::NoTrials);
+    }
+    let baseline = crate::cpu::run_golden(program, config);
+    let protected_golden = Cpu::new(program, config).run(program, protection);
+    let campaign =
+        crate::fault::random_register_campaign(program, config, protection, n, seed)?;
+    Ok(ProtectionReport {
+        counts: campaign.counts,
+        baseline_cycles: baseline.cycles,
+        protected_cycles: protected_golden.cycles,
+    })
+}
+
+/// A symptom monitor: per-register value envelopes learned from the golden
+/// execution, widened by a tolerance factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymptomMonitor {
+    lo: [u32; NUM_REGS],
+    hi: [u32; NUM_REGS],
+}
+
+impl SymptomMonitor {
+    /// Learns register-value envelopes from a fault-free run.
+    #[must_use]
+    pub fn learn(program: &Program, config: &CpuConfig) -> Self {
+        let mut lo = [u32::MAX; NUM_REGS];
+        let mut hi = [0u32; NUM_REGS];
+        let mut cpu = Cpu::new(program, config);
+        let protection = Protection::none();
+        loop {
+            let info = cpu.step(program, &protection);
+            if let Some((reg, v)) = info.wrote {
+                lo[reg.index()] = lo[reg.index()].min(v);
+                hi[reg.index()] = hi[reg.index()].max(v);
+            }
+            if info.stop.is_some() {
+                break;
+            }
+        }
+        // Widen envelopes slightly: values near the bounds are normal.
+        for i in 0..NUM_REGS {
+            if lo[i] <= hi[i] {
+                let span = (hi[i] - lo[i]).max(16);
+                lo[i] = lo[i].saturating_sub(span / 8);
+                hi[i] = hi[i].saturating_add(span / 8);
+            }
+        }
+        SymptomMonitor { lo, hi }
+    }
+
+    /// Whether a register write is anomalous.
+    #[must_use]
+    pub fn is_anomalous(&self, reg: usize, value: u32) -> bool {
+        if self.lo[reg] > self.hi[reg] {
+            // Register never written in golden run; any write is anomalous.
+            return true;
+        }
+        value < self.lo[reg] || value > self.hi[reg]
+    }
+
+    /// Runs a faulty trial under symptom monitoring: an anomalous register
+    /// write stops the run as *detected*. Returns the classified outcome.
+    #[must_use]
+    pub fn run_with_fault(
+        &self,
+        program: &Program,
+        config: &CpuConfig,
+        golden: &ExecResult,
+        fault: &FaultSpec,
+    ) -> Outcome {
+        let mut cpu = Cpu::new(program, config);
+        let protection = Protection::none();
+        let mut injected = false;
+        let mut executed: u64 = 0;
+        let result = loop {
+            if !injected && executed >= fault.cycle {
+                match fault.target {
+                    FaultTarget::Register { reg, bit } => cpu.flip_register_bit(reg, bit),
+                    FaultTarget::Pc { bit } => cpu.flip_pc_bit(bit),
+                    FaultTarget::Memory { addr, bit } => cpu.flip_memory_bit(addr, bit),
+                }
+                injected = true;
+            }
+            let info = cpu.step(program, &protection);
+            executed += 1;
+            if injected {
+                if let Some((reg, v)) = info.wrote {
+                    if self.is_anomalous(reg.index(), v) {
+                        break cpu.finish(program, StopReason::DetectedMismatch);
+                    }
+                }
+            }
+            if let Some(stop) = info.stop {
+                break cpu.finish(program, stop);
+            }
+        };
+        classify(&result, golden)
+    }
+}
+
+/// Evaluates symptom-based detection with a random register campaign.
+///
+/// # Errors
+///
+/// Returns [`ArchError::NoTrials`] for `n == 0`.
+pub fn evaluate_symptom_detection(
+    program: &Program,
+    config: &CpuConfig,
+    n: usize,
+    seed: u64,
+) -> Result<OutcomeCounts, ArchError> {
+    if n == 0 {
+        return Err(ArchError::NoTrials);
+    }
+    let golden = crate::cpu::run_golden(program, config);
+    let monitor = SymptomMonitor::learn(program, config);
+    let mut rng = Rng::from_seed(seed);
+    let mut counts = OutcomeCounts::default();
+    for _ in 0..n {
+        #[allow(clippy::cast_possible_truncation)]
+        let fault = FaultSpec {
+            target: FaultTarget::Register {
+                reg: crate::isa::Reg::new(rng.below(NUM_REGS as u64) as u8).expect("in range"),
+                bit: rng.below(32) as u8,
+            },
+            cycle: rng.below(golden.cycles.max(1)),
+        };
+        counts.record(monitor.run_with_fault(program, config, &golden, &fault));
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload;
+
+    #[test]
+    fn full_protection_has_high_overhead_and_high_detection() {
+        let p = workload::dot_product();
+        let cfg = CpuConfig::default();
+        let report =
+            evaluate_protection(&p, &cfg, &Protection::full(&p), 300, 1).unwrap();
+        assert!(report.overhead() > 0.3, "overhead {}", report.overhead());
+        assert!(
+            report.detection_rate() > 0.5,
+            "detection {}",
+            report.detection_rate()
+        );
+    }
+
+    #[test]
+    fn no_protection_has_zero_overhead() {
+        let p = workload::dot_product();
+        let cfg = CpuConfig::default();
+        let report =
+            evaluate_protection(&p, &cfg, &Protection::none(), 100, 2).unwrap();
+        assert_eq!(report.overhead(), 0.0);
+        assert_eq!(report.counts.count(Outcome::Detected), 0);
+    }
+
+    #[test]
+    fn selective_protection_cheaper_than_full() {
+        let p = workload::dot_product();
+        let cfg = CpuConfig::default();
+        // Protect just the accumulator-chain instructions (5 and 6).
+        let sel = Protection::for_instructions(&p, [5, 6]).unwrap();
+        let full_report = evaluate_protection(&p, &cfg, &Protection::full(&p), 200, 3).unwrap();
+        let sel_report = evaluate_protection(&p, &cfg, &sel, 200, 3).unwrap();
+        assert!(sel_report.overhead() < full_report.overhead());
+        assert!(sel_report.counts.count(Outcome::Detected) > 0);
+    }
+
+    #[test]
+    fn symptom_monitor_learns_envelopes() {
+        let p = workload::fibonacci();
+        let cfg = CpuConfig::default();
+        let m = SymptomMonitor::learn(&p, &cfg);
+        // fib values stay below ~7000; a huge value is anomalous.
+        assert!(m.is_anomalous(1, 0xFFFF_0000));
+        assert!(!m.is_anomalous(1, 100));
+        // A register never written in the golden run flags any write.
+        assert!(m.is_anomalous(15, 0));
+    }
+
+    #[test]
+    fn symptom_detection_catches_some_faults_cheaply() {
+        let p = workload::fibonacci();
+        let cfg = CpuConfig::default();
+        let counts = evaluate_symptom_detection(&p, &cfg, 400, 4).unwrap();
+        assert_eq!(counts.total(), 400);
+        assert!(counts.count(Outcome::Detected) > 0, "no symptoms caught");
+        // Under-protection: symptom detection misses some SDCs (the paper's
+        // critique of symptom-based techniques).
+        assert!(counts.count(Outcome::Sdc) > 0, "suspiciously perfect");
+    }
+
+    #[test]
+    fn zero_trials_rejected() {
+        let p = workload::fibonacci();
+        let cfg = CpuConfig::default();
+        assert!(evaluate_protection(&p, &cfg, &Protection::none(), 0, 1).is_err());
+        assert!(evaluate_symptom_detection(&p, &cfg, 0, 1).is_err());
+    }
+}

@@ -1,0 +1,197 @@
+//! Workload programs used as fault-injection targets.
+//!
+//! Five small but real kernels covering the behaviour classes the
+//! architectural-reliability literature injects into: dense arithmetic
+//! (matmul, dot product), control-heavy code (bubble sort), bit
+//! manipulation (checksum), and pointer-free recursion turned iterative
+//! (Fibonacci).
+
+use crate::isa::{r, Instr, Program};
+
+/// All built-in workloads.
+#[must_use]
+pub fn all() -> Vec<Program> {
+    vec![matmul(), bubble_sort(), checksum(), dot_product(), fibonacci()]
+}
+
+/// 3×3 integer matrix multiply: `C = A × B`.
+/// Memory: A at 0..9, B at 9..18, C at 18..27.
+#[must_use]
+pub fn matmul() -> Program {
+    let mut instrs = Vec::new();
+    // Fully unrolled: for i, j: C[i*3+j] = sum_k A[i*3+k] * B[k*3+j]
+    for i in 0..3u32 {
+        for j in 0..3u32 {
+            instrs.push(Instr::Addi(r(4), r(0), 0)); // acc = 0
+            for k in 0..3u32 {
+                let a_addr = (i * 3 + k) as i32;
+                let b_addr = (9 + k * 3 + j) as i32;
+                instrs.push(Instr::Ld(r(2), r(0), a_addr));
+                instrs.push(Instr::Ld(r(3), r(0), b_addr));
+                instrs.push(Instr::Mul(r(5), r(2), r(3)));
+                instrs.push(Instr::Add(r(4), r(4), r(5)));
+            }
+            instrs.push(Instr::St(r(4), r(0), (18 + i * 3 + j) as i32));
+        }
+    }
+    instrs.push(Instr::Halt);
+    let mut data = vec![0u32; 27];
+    let a = [1, 2, 3, 4, 5, 6, 7, 8, 9u32];
+    let b = [9, 8, 7, 6, 5, 4, 3, 2, 1u32];
+    data[..9].copy_from_slice(&a);
+    data[9..18].copy_from_slice(&b);
+    Program::new("matmul3x3", instrs, data, 18..27).expect("non-empty")
+}
+
+/// Bubble sort of 10 words in place at 0..10.
+#[must_use]
+pub fn bubble_sort() -> Program {
+    // r1 = i (outer), r2 = j (inner), r3/r4 = elements, r5 = n-1
+    let instrs = vec![
+        Instr::Addi(r(5), r(0), 9),   // n-1
+        Instr::Addi(r(1), r(0), 0),   // i = 0
+        // outer: if i == n-1 goto done
+        Instr::Beq(r(1), r(5), 11),   // -> done
+        Instr::Addi(r(2), r(0), 0),   // j = 0
+        // inner: if j == n-1-i ... simplify: j == n-1 -> next_outer
+        Instr::Beq(r(2), r(5), 7),    // -> next outer
+        Instr::Ld(r(3), r(2), 0),     // a[j]
+        Instr::Ld(r(4), r(2), 1),     // a[j+1]
+        Instr::Blt(r(3), r(4), 2),    // in order -> skip swap
+        Instr::St(r(4), r(2), 0),
+        Instr::St(r(3), r(2), 1),
+        Instr::Addi(r(2), r(2), 1),   // j++
+        Instr::Jmp(-8),               // -> inner
+        Instr::Addi(r(1), r(1), 1),   // i++
+        Instr::Jmp(-12),              // -> outer
+        Instr::Halt,                  // done
+    ];
+    let data = vec![9, 3, 7, 1, 8, 2, 6, 0, 5, 4];
+    Program::new("bubble_sort10", instrs, data, 0..10).expect("non-empty")
+}
+
+/// A rotating-XOR checksum over 16 words at 0..16; result at 16.
+#[must_use]
+pub fn checksum() -> Program {
+    let instrs = vec![
+        Instr::Addi(r(1), r(0), 0),  // idx
+        Instr::Addi(r(2), r(0), 0),  // acc
+        Instr::Addi(r(5), r(0), 16), // limit
+        Instr::Addi(r(6), r(0), 5),  // rotate amount
+        Instr::Addi(r(7), r(0), 27), // 32 - 5
+        // loop:
+        Instr::Ld(r(3), r(1), 0),
+        Instr::Xor(r(2), r(2), r(3)),
+        Instr::Sll(r(4), r(2), r(6)),
+        Instr::Srl(r(2), r(2), r(7)),
+        Instr::Or(r(2), r(2), r(4)),
+        Instr::Addi(r(1), r(1), 1),
+        Instr::Bne(r(1), r(5), -7),
+        Instr::St(r(2), r(0), 16),
+        Instr::Halt,
+    ];
+    let data: Vec<u32> = (0..16u32)
+        .map(|i| i.wrapping_mul(0x9E37_79B9).wrapping_add(17))
+        .chain(std::iter::once(0))
+        .collect();
+    Program::new("checksum16", instrs, data, 16..17).expect("non-empty")
+}
+
+/// Dot product of two 12-element vectors at 0..12 and 12..24; result at 24.
+#[must_use]
+pub fn dot_product() -> Program {
+    let instrs = vec![
+        Instr::Addi(r(1), r(0), 0),  // idx
+        Instr::Addi(r(2), r(0), 0),  // acc
+        Instr::Addi(r(5), r(0), 12), // limit
+        // loop:
+        Instr::Ld(r(3), r(1), 0),
+        Instr::Ld(r(4), r(1), 12),
+        Instr::Mul(r(6), r(3), r(4)),
+        Instr::Add(r(2), r(2), r(6)),
+        Instr::Addi(r(1), r(1), 1),
+        Instr::Bne(r(1), r(5), -6),
+        Instr::St(r(2), r(0), 24),
+        Instr::Halt,
+    ];
+    let mut data = vec![0u32; 25];
+    for i in 0..12u32 {
+        data[i as usize] = i + 1;
+        data[12 + i as usize] = 2 * i + 1;
+    }
+    Program::new("dot12", instrs, data, 24..25).expect("non-empty")
+}
+
+/// Iterative Fibonacci: fib(20) stored at 0.
+#[must_use]
+pub fn fibonacci() -> Program {
+    let instrs = vec![
+        Instr::Addi(r(1), r(0), 0),  // a
+        Instr::Addi(r(2), r(0), 1),  // b
+        Instr::Addi(r(3), r(0), 20), // n
+        Instr::Addi(r(4), r(0), 0),  // i
+        // loop:
+        Instr::Add(r(5), r(1), r(2)), // t = a + b
+        Instr::Addi(r(1), r(2), 0),   // a = b
+        Instr::Addi(r(2), r(5), 0),   // b = t
+        Instr::Addi(r(4), r(4), 1),
+        Instr::Bne(r(4), r(3), -5),
+        Instr::St(r(1), r(0), 0),
+        Instr::Halt,
+    ];
+    Program::new("fib20", instrs, vec![0], 0..1).expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::{run_golden, CpuConfig, StopReason};
+
+    #[test]
+    fn matmul_is_correct() {
+        let res = run_golden(&matmul(), &CpuConfig::default());
+        assert_eq!(res.stop, StopReason::Halted);
+        // [1 2 3; 4 5 6; 7 8 9] × [9 8 7; 6 5 4; 3 2 1]
+        assert_eq!(res.output, vec![30, 24, 18, 84, 69, 54, 138, 114, 90]);
+    }
+
+    #[test]
+    fn sort_is_correct() {
+        let res = run_golden(&bubble_sort(), &CpuConfig::default());
+        assert_eq!(res.stop, StopReason::Halted);
+        assert_eq!(res.output, vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn checksum_runs_and_is_stable() {
+        let res = run_golden(&checksum(), &CpuConfig::default());
+        assert_eq!(res.stop, StopReason::Halted);
+        let again = run_golden(&checksum(), &CpuConfig::default());
+        assert_eq!(res.output, again.output);
+        assert_ne!(res.output[0], 0);
+    }
+
+    #[test]
+    fn dot_product_is_correct() {
+        let res = run_golden(&dot_product(), &CpuConfig::default());
+        assert_eq!(res.stop, StopReason::Halted);
+        let expect: u32 = (0..12).map(|i| (i + 1) * (2 * i + 1)).sum();
+        assert_eq!(res.output, vec![expect]);
+    }
+
+    #[test]
+    fn fibonacci_is_correct() {
+        let res = run_golden(&fibonacci(), &CpuConfig::default());
+        assert_eq!(res.stop, StopReason::Halted);
+        assert_eq!(res.output, vec![6765]); // fib(20)
+    }
+
+    #[test]
+    fn all_workloads_halt() {
+        for p in all() {
+            let res = run_golden(&p, &CpuConfig::default());
+            assert_eq!(res.stop, StopReason::Halted, "{} did not halt", p.name);
+            assert!(res.cycles > 10, "{} suspiciously short", p.name);
+        }
+    }
+}

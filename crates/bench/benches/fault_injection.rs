@@ -1,0 +1,42 @@
+//! Fault-injection campaign throughput (trials per second).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lori_arch::cpu::{CpuConfig, Protection};
+use lori_arch::fault::random_register_campaign;
+use lori_arch::workload;
+
+fn bench_injection(c: &mut Criterion) {
+    let cfg = CpuConfig::default();
+    let mut group = c.benchmark_group("fault_injection");
+    for program in workload::all() {
+        group.bench_with_input(
+            BenchmarkId::new("campaign_100", &program.name),
+            &program,
+            |b, p| {
+                b.iter(|| {
+                    random_register_campaign(p, &cfg, &Protection::none(), 100, 1)
+                        .expect("campaign")
+                });
+            },
+        );
+    }
+    let p = workload::dot_product();
+    group.bench_function("campaign_100_protected", |b| {
+        b.iter(|| {
+            random_register_campaign(&p, &cfg, &Protection::full(&p), 100, 1).expect("campaign")
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep `cargo bench --workspace` to a few
+    // minutes while still giving stable medians for these coarse kernels.
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .sample_size(20);
+    targets = bench_injection
+}
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Training/prediction throughput of the from-scratch ML substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lori_core::Rng;
+use lori_ml::boost::{GradientBoostConfig, GradientBoostRegressor};
+use lori_ml::data::Dataset;
+use lori_ml::forest::{ForestConfig, RandomForest};
+use lori_ml::knn::Knn;
+use lori_ml::linreg::LinearRegression;
+use lori_ml::mlp::{Mlp, MlpConfig};
+use lori_ml::svm::{LinearSvm, SvmConfig};
+use lori_ml::traits::{Classifier, Regressor};
+use std::hint::black_box;
+
+fn dataset(n: usize, seed: u64) -> Dataset {
+    let mut rng = Rng::from_seed(seed);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..6).map(|_| rng.uniform_in(-2.0, 2.0)).collect())
+        .collect();
+    let ys: Vec<f64> = rows
+        .iter()
+        .map(|r| f64::from(u8::from(r[0] + r[1] * r[2] > 0.0)))
+        .collect();
+    Dataset::from_rows(rows, ys).expect("dataset")
+}
+
+fn bench_mlkit(c: &mut Criterion) {
+    let train = dataset(500, 1);
+    let reg_train = {
+        let mut rng = Rng::from_seed(2);
+        let rows: Vec<Vec<f64>> = (0..500)
+            .map(|_| (0..6).map(|_| rng.uniform_in(-2.0, 2.0)).collect())
+            .collect();
+        let ys: Vec<f64> = rows.iter().map(|r| r[0] * 2.0 + r[1].sin()).collect();
+        Dataset::from_rows(rows, ys).expect("dataset")
+    };
+    let query = vec![0.1, -0.4, 0.9, 0.0, 1.1, -0.7];
+
+    c.bench_function("train_linreg_500", |b| {
+        b.iter(|| LinearRegression::fit(black_box(&reg_train), 1e-6).expect("fit"));
+    });
+    c.bench_function("train_svm_500", |b| {
+        b.iter(|| LinearSvm::fit(black_box(&train), &SvmConfig::default()).expect("fit"));
+    });
+    c.bench_function("train_forest_500", |b| {
+        b.iter(|| {
+            RandomForest::fit(
+                black_box(&train),
+                &ForestConfig {
+                    n_trees: 20,
+                    ..ForestConfig::default()
+                },
+            )
+            .expect("fit")
+        });
+    });
+    c.bench_function("train_gbt_500", |b| {
+        b.iter(|| {
+            GradientBoostRegressor::fit(
+                black_box(&reg_train),
+                &GradientBoostConfig {
+                    stages: 30,
+                    ..GradientBoostConfig::default()
+                },
+            )
+            .expect("fit")
+        });
+    });
+    let mut mlp_cfg = MlpConfig::classifier(2);
+    mlp_cfg.epochs = 30;
+    c.bench_function("train_mlp_500x30ep", |b| {
+        b.iter(|| Mlp::fit(black_box(&train), &mlp_cfg).expect("fit"));
+    });
+
+    let knn = Knn::fit(&train, 5).expect("fit");
+    c.bench_function("predict_knn_500", |b| {
+        b.iter(|| knn.predict(black_box(&query)));
+    });
+    let forest = RandomForest::fit(&train, &ForestConfig::default()).expect("fit");
+    c.bench_function("predict_forest", |b| {
+        b.iter(|| forest.predict(black_box(&query)));
+    });
+    let gbt = GradientBoostRegressor::fit(&reg_train, &GradientBoostConfig::default())
+        .expect("fit");
+    c.bench_function("predict_gbt", |b| {
+        b.iter(|| gbt.predict(black_box(&query)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep `cargo bench --workspace` to a few
+    // minutes while still giving stable medians for these coarse kernels.
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .sample_size(20);
+    targets = bench_mlkit
+}
+criterion_main!(benches);

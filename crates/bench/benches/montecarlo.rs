@@ -1,0 +1,34 @@
+//! Section-V Monte Carlo harness throughput: one full Fig.-5/6 probability
+//! point (100 runs × 64 segments × 4 algorithms).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lori_ftsched::montecarlo::{sweep, SweepConfig};
+use lori_ftsched::workload::adpcm_reference_trace;
+
+fn bench_montecarlo(c: &mut Criterion) {
+    let trace = adpcm_reference_trace();
+    let config = SweepConfig::default();
+    let mut group = c.benchmark_group("montecarlo");
+    for p in [1e-7f64, 1e-6, 1e-5] {
+        group.bench_with_input(
+            BenchmarkId::new("sweep_point", format!("{p:.0e}")),
+            &p,
+            |b, &p| {
+                b.iter(|| sweep(&[p], &trace, &config).expect("sweep"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep `cargo bench --workspace` to a few
+    // minutes while still giving stable medians for these coarse kernels.
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .sample_size(20);
+    targets = bench_montecarlo
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! STA throughput: full timing analysis of netlists at increasing scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lori_circuit::characterize::{characterize_library, Corner};
+use lori_circuit::netlist::{processor_datapath, random_logic};
+use lori_circuit::spicelike::GoldenSimulator;
+use lori_circuit::sta::{run_sta, StaConfig};
+use lori_circuit::tech::TechParams;
+
+fn bench_sta(c: &mut Criterion) {
+    let sim = GoldenSimulator::new(TechParams::default()).expect("tech");
+    let lib = characterize_library(&sim, &Corner::default()).expect("library");
+    let cfg = StaConfig::default();
+
+    let mut group = c.benchmark_group("sta");
+    for gates in [500usize, 2000, 8000] {
+        let nl = random_logic(&lib, 32, gates, 1).expect("netlist");
+        group.bench_with_input(BenchmarkId::new("random_logic", gates), &nl, |b, nl| {
+            b.iter(|| run_sta(nl, &lib, &cfg).expect("sta"));
+        });
+    }
+    let dp = processor_datapath(&lib, 16, 2).expect("netlist");
+    group.bench_with_input(
+        BenchmarkId::new("processor_datapath", dp.instance_count()),
+        &dp,
+        |b, nl| {
+            b.iter(|| run_sta(nl, &lib, &cfg).expect("sta"));
+        },
+    );
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep `cargo bench --workspace` to a few
+    // minutes while still giving stable medians for these coarse kernels.
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .sample_size(20);
+    targets = bench_sta
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! E11a (Sec. IV): the DVFS reliability trade-off.
+//!
+//! Paper claims: lowering V-f levels saves energy, cools the die, and
+//! improves wear-out lifetime (MTTF), but raises the transient fault rate
+//! exponentially and stretches execution — degrading functional and timing
+//! reliability. Managers must balance both sides.
+
+use lori_bench::{banner, fmt, render_table};
+use lori_core::Rng;
+use lori_sys::platform::{CoreKind, Platform};
+use lori_sys::sched::{Governor, Mapping, SimConfig, Simulator};
+use lori_sys::task::generate_task_set;
+
+fn main() {
+    banner("E11a", "DVFS trade-off: energy / temperature / MTTF vs SER / deadlines");
+    let mut rng = Rng::from_seed(1);
+    let tasks = generate_task_set(6, 0.9, 1.6e6, (10.0, 60.0), &mut rng).expect("tasks");
+    let platform = Platform::homogeneous(CoreKind::Little, 2).expect("platform");
+    let mapping = Mapping::round_robin(tasks.len(), 2);
+
+    let mut rows = Vec::new();
+    for level in 0..5 {
+        let config = SimConfig {
+            governor: Governor::Fixed(level),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(platform.clone(), tasks.clone(), mapping.clone(), config)
+            .expect("simulator");
+        sim.run_for(10_000.0);
+        let r = sim.report();
+        let core = platform.core(0);
+        let vf = core.vf(level).expect("level");
+        rows.push(vec![
+            format!("L{} ({:.2} V / {:.0} MHz)", level, vf.voltage.value(), vf.frequency.value()),
+            fmt(r.metrics.energy_j),
+            fmt(r.avg_peak_temp.value()),
+            fmt(r.metrics.miss_rate()),
+            fmt(r.metrics.expected_soft_errors * 1.0e6),
+            fmt(r.mttf_estimate.as_years()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "V-f level",
+                "energy (J)",
+                "avg peak T (°C)",
+                "deadline miss rate",
+                "E[soft errors] ×1e-6",
+                "wear-out MTTF (y)"
+            ],
+            &rows
+        )
+    );
+    println!("claim shape (reading down the table, lower V-f):");
+    println!("  energy ↓, temperature ↓, wear-out MTTF ↑ — but soft errors ↑ and");
+    println!("  deadline misses appear once the level can no longer carry the load.");
+}

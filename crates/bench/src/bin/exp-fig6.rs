@@ -1,0 +1,57 @@
+//! E4 (paper Fig. 6): deadline hit rate vs error probability for the four
+//! cycle-noise mitigation algorithms (DS, DS 1.5×, DS 2×, WCET).
+//!
+//! Paper claims: hit rates drop from ~1 to ~0 inside a small window around
+//! 1e-6..1e-5; within the window conservative algorithms hold higher hit
+//! rates; beyond the wall every algorithm converges to zero.
+
+use lori_bench::{banner, fmt, render_table};
+use lori_ftsched::mitigation::BudgetAlgorithm;
+use lori_ftsched::montecarlo::{paper_probability_axis, sweep, SweepConfig};
+use lori_ftsched::workload::adpcm_reference_trace;
+
+fn main() {
+    banner("E4 / Fig. 6", "Deadline hit rate vs error probability, per algorithm");
+    let trace = adpcm_reference_trace();
+    let config = SweepConfig::default();
+    let points = sweep(&paper_probability_axis(), &trace, &config).expect("sweep");
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|pt| {
+            let mut row = vec![format!("{:.0e}", pt.p)];
+            row.extend(pt.hit_rate.iter().map(|&h| fmt(h)));
+            row
+        })
+        .collect();
+    let headers: Vec<&str> = std::iter::once("p (per cycle)")
+        .chain(BudgetAlgorithm::ALL.iter().map(|a| a.label()))
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+
+    // Shape checks.
+    let low = points.first().expect("points");
+    let high = points.last().expect("points");
+    println!("shape checks vs paper:");
+    println!(
+        "  - all algorithms near 1.0 at p={:.0e}: {}",
+        low.p,
+        low.hit_rate.iter().all(|&h| h > 0.99)
+    );
+    println!(
+        "  - all algorithms near 0.0 at p={:.0e}: {}",
+        high.p,
+        high.hit_rate.iter().all(|&h| h < 0.05)
+    );
+    let window = points
+        .iter()
+        .find(|pt| pt.hit_rate[3] - pt.hit_rate[0] > 0.2);
+    println!(
+        "  - window where WCET beats DS by >0.2: {}",
+        window.map_or("none".into(), |pt| format!(
+            "p={:.0e} (DS {} vs WCET {})",
+            pt.p,
+            fmt(pt.hit_rate[0]),
+            fmt(pt.hit_rate[3])
+        ))
+    );
+}

@@ -1,0 +1,97 @@
+//! E15 (Sec. III-C.2, ref \[32\] WarningNet): a small network watching the
+//! *inputs* of a mission-critical task for perturbations that would make it
+//! fail, raising an early warning in a fraction of the task's runtime.
+
+use lori_arch::cpu::{run_golden, CpuConfig};
+use lori_arch::workload;
+use lori_bench::{banner, fmt, render_table};
+use lori_core::Rng;
+use lori_ml::data::{Dataset, StandardScaler};
+use lori_ml::metrics::{precision, recall};
+use lori_ml::mlp::{Mlp, MlpConfig};
+use lori_ml::traits::Classifier;
+use std::time::Instant;
+
+/// Runs matmul with perturbed inputs; failure = any output word deviates
+/// from the clean output by more than `tolerance`.
+fn run_perturbed(noise: &[i64], tolerance: u32) -> bool {
+    let clean = workload::matmul();
+    let golden = run_golden(&clean, &CpuConfig::default());
+    let mut perturbed = clean.clone();
+    for (w, &n) in perturbed.data.iter_mut().zip(noise) {
+        *w = (i64::from(*w) + n).clamp(0, 4096) as u32;
+    }
+    let out = run_golden(&perturbed, &CpuConfig::default());
+    golden
+        .output
+        .iter()
+        .zip(&out.output)
+        .any(|(&a, &b)| a.abs_diff(b) > tolerance)
+}
+
+fn main() {
+    banner("E15", "WarningNet-style early warning of failure-inducing input noise");
+    let mut rng = Rng::from_seed(1);
+    let tolerance = 40;
+    let n_inputs = 18; // matmul's A and B matrices
+
+    // Build the training set: input-noise vectors → does the task fail?
+    let sample = |rng: &mut Rng| -> (Vec<f64>, f64) {
+        // Mixture: clean-ish inputs and heavily perturbed ones.
+        let magnitude = if rng.bernoulli(0.5) {
+            rng.uniform_in(0.0, 1.5)
+        } else {
+            rng.uniform_in(1.5, 8.0)
+        };
+        let noise: Vec<i64> = (0..n_inputs)
+            .map(|_| (rng.normal() * magnitude).round() as i64)
+            .collect();
+        let fails = run_perturbed(&noise, tolerance);
+        let features: Vec<f64> = noise.iter().map(|&n| n as f64).collect();
+        (features, f64::from(u8::from(fails)))
+    };
+    println!("labeling 1200 perturbation samples by running the task...");
+    let (xs, ys): (Vec<_>, Vec<_>) = (0..1200).map(|_| sample(&mut rng)).unzip();
+    let raw = Dataset::from_rows(xs, ys).expect("dataset");
+    let scaler = StandardScaler::fit(&raw).expect("scaler");
+    let ds = scaler.transform(&raw);
+    let (train, test) = ds.split(0.7, &mut rng).expect("split");
+
+    let mut cfg = MlpConfig::classifier(2);
+    cfg.hidden = vec![12, 12];
+    let net = Mlp::fit(&train, &cfg).expect("training");
+
+    let truth = test.class_targets();
+    let preds = net.predict_batch(test.features());
+
+    // Time comparison: warning query vs running the task to find out.
+    let q = test.features()[0].clone();
+    let t0 = Instant::now();
+    for _ in 0..1000 {
+        let _ = net.predict(&q);
+    }
+    let warn_t = t0.elapsed().as_secs_f64() / 1000.0;
+    let t0 = Instant::now();
+    for _ in 0..200 {
+        let _ = run_golden(&workload::matmul(), &CpuConfig::default());
+    }
+    let task_t = t0.elapsed().as_secs_f64() / 200.0;
+
+    println!(
+        "{}",
+        render_table(
+            &["metric", "value"],
+            &[
+                vec!["recall (failures caught)".into(), fmt(recall(&truth, &preds, 1).expect("m"))],
+                vec!["precision".into(), fmt(precision(&truth, &preds, 1).expect("m"))],
+                vec!["warning query time".into(), format!("{:.2} µs", warn_t * 1e6)],
+                vec!["task execution time".into(), format!("{:.2} µs", task_t * 1e6)],
+                vec![
+                    "warning cost / task cost".into(),
+                    format!("1/{:.0}", task_t / warn_t.max(1e-12)),
+                ],
+            ]
+        )
+    );
+    println!("paper reference (ref [32]): early warning in ~1/20 of the task time.");
+}

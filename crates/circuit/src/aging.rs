@@ -1,0 +1,244 @@
+//! Transistor aging models: NBTI and HCI threshold-voltage degradation.
+//!
+//! Both follow the standard reaction–diffusion-style power law used in the
+//! public literature: `ΔVth = A · S^β · exp(−Ea/kT) · t^n`, where `S` is the
+//! workload-dependent stress factor (gate duty cycle for NBTI, switching
+//! activity for HCI). The paper's point (Sec. II) is that foundries hold the
+//! *calibrated* version of such models confidential; LORI's HDC/ML models
+//! learn to mimic this "golden" model from samples (experiment E6).
+
+use crate::error::CircuitError;
+use lori_core::units::{Celsius, Seconds, Volts};
+
+/// Boltzmann constant in eV/K.
+const K_B_EV: f64 = 8.617_333e-5;
+
+/// The stress a device experiences, derived from its workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StressProfile {
+    /// Fraction of time the PMOS gate is under NBTI stress (input low),
+    /// in `[0, 1]`.
+    pub duty_cycle: f64,
+    /// Switching activity: transitions per cycle, in `[0, 1]` (HCI stress).
+    pub activity: f64,
+    /// Operating temperature of the device (including self-heating).
+    pub temperature: Celsius,
+}
+
+impl StressProfile {
+    /// Creates a stress profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] if duty cycle or activity
+    /// are outside `[0, 1]`.
+    pub fn new(duty_cycle: f64, activity: f64, temperature: Celsius) -> Result<Self, CircuitError> {
+        if !(0.0..=1.0).contains(&duty_cycle) || duty_cycle.is_nan() {
+            return Err(CircuitError::InvalidParameter {
+                what: "duty_cycle",
+                value: duty_cycle,
+            });
+        }
+        if !(0.0..=1.0).contains(&activity) || activity.is_nan() {
+            return Err(CircuitError::InvalidParameter {
+                what: "activity",
+                value: activity,
+            });
+        }
+        Ok(StressProfile {
+            duty_cycle,
+            activity,
+            temperature,
+        })
+    }
+}
+
+/// Parameters of one aging mechanism's power law.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MechanismParams {
+    /// Pre-factor `A` (volts at 1 second, unit stress, infinite temperature).
+    pub prefactor: f64,
+    /// Stress exponent β.
+    pub stress_exponent: f64,
+    /// Activation energy `Ea` in eV.
+    pub activation_energy_ev: f64,
+    /// Time exponent `n` (≈ 0.16–0.25 for NBTI, ≈ 0.45 for HCI).
+    pub time_exponent: f64,
+}
+
+/// A combined NBTI + HCI aging model.
+///
+/// ```
+/// use lori_circuit::aging::{AgingModel, StressProfile};
+/// use lori_core::units::{Celsius, Seconds};
+///
+/// # fn main() -> Result<(), lori_circuit::CircuitError> {
+/// let model = AgingModel::default();
+/// let stress = StressProfile::new(0.5, 0.2, Celsius(85.0))?;
+/// let dvth = model.delta_vth(&stress, Seconds::from_years(10.0));
+/// // A decade of moderate stress costs tens of millivolts.
+/// assert!(dvth.value() > 0.01 && dvth.value() < 0.2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgingModel {
+    /// NBTI parameters (duty-cycle driven).
+    pub nbti: MechanismParams,
+    /// HCI parameters (activity driven).
+    pub hci: MechanismParams,
+}
+
+impl Default for AgingModel {
+    /// Calibrated so that 10 years at 50 % duty / 20 % activity / 85 °C
+    /// costs ≈ 40–50 mV — the magnitude regime guardband studies work in.
+    fn default() -> Self {
+        AgingModel {
+            nbti: MechanismParams {
+                prefactor: 0.006,
+                stress_exponent: 0.5,
+                activation_energy_ev: 0.06,
+                time_exponent: 0.2,
+            },
+            hci: MechanismParams {
+                prefactor: 1.0e-4,
+                stress_exponent: 0.8,
+                activation_energy_ev: 0.03,
+                time_exponent: 0.35,
+            },
+        }
+    }
+}
+
+impl AgingModel {
+    /// NBTI contribution to ΔVth after `t` under `stress`.
+    #[must_use]
+    pub fn nbti_delta_vth(&self, stress: &StressProfile, t: Seconds) -> Volts {
+        Volts(mechanism_shift(
+            &self.nbti,
+            stress.duty_cycle,
+            stress.temperature,
+            t,
+        ))
+    }
+
+    /// HCI contribution to ΔVth after `t` under `stress`.
+    #[must_use]
+    pub fn hci_delta_vth(&self, stress: &StressProfile, t: Seconds) -> Volts {
+        Volts(mechanism_shift(
+            &self.hci,
+            stress.activity,
+            stress.temperature,
+            t,
+        ))
+    }
+
+    /// Total ΔVth (NBTI + HCI are assumed additive to first order).
+    #[must_use]
+    pub fn delta_vth(&self, stress: &StressProfile, t: Seconds) -> Volts {
+        self.nbti_delta_vth(stress, t) + self.hci_delta_vth(stress, t)
+    }
+}
+
+fn mechanism_shift(p: &MechanismParams, stress: f64, temp: Celsius, t: Seconds) -> f64 {
+    if stress <= 0.0 || t.value() <= 0.0 {
+        return 0.0;
+    }
+    let t_k = temp.as_absolute_kelvin();
+    p.prefactor
+        * stress.powf(p.stress_exponent)
+        * (-p.activation_energy_ev / (K_B_EV * t_k)).exp()
+        * t.value().powf(p.time_exponent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stress(duty: f64, act: f64, t: f64) -> StressProfile {
+        StressProfile::new(duty, act, Celsius(t)).unwrap()
+    }
+
+    #[test]
+    fn stress_profile_validation() {
+        assert!(StressProfile::new(-0.1, 0.5, Celsius(25.0)).is_err());
+        assert!(StressProfile::new(0.5, 1.5, Celsius(25.0)).is_err());
+        assert!(StressProfile::new(f64::NAN, 0.5, Celsius(25.0)).is_err());
+        assert!(StressProfile::new(0.0, 0.0, Celsius(25.0)).is_ok());
+    }
+
+    #[test]
+    fn ten_year_shift_in_expected_regime() {
+        let m = AgingModel::default();
+        let d = m.delta_vth(&stress(0.5, 0.2, 85.0), Seconds::from_years(10.0));
+        assert!(
+            d.value() > 0.02 && d.value() < 0.15,
+            "10-year ΔVth = {} V",
+            d.value()
+        );
+    }
+
+    #[test]
+    fn shift_is_monotone_in_time() {
+        let m = AgingModel::default();
+        let s = stress(0.5, 0.2, 85.0);
+        let mut prev = 0.0;
+        for years in [0.1, 1.0, 3.0, 10.0] {
+            let d = m.delta_vth(&s, Seconds::from_years(years)).value();
+            assert!(d > prev);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn shift_is_monotone_in_stress() {
+        let m = AgingModel::default();
+        let t = Seconds::from_years(5.0);
+        let low = m.delta_vth(&stress(0.1, 0.1, 85.0), t).value();
+        let high = m.delta_vth(&stress(0.9, 0.9, 85.0), t).value();
+        assert!(high > low);
+    }
+
+    #[test]
+    fn hotter_ages_faster() {
+        let m = AgingModel::default();
+        let t = Seconds::from_years(5.0);
+        let cool = m.delta_vth(&stress(0.5, 0.2, 25.0), t).value();
+        let hot = m.delta_vth(&stress(0.5, 0.2, 125.0), t).value();
+        assert!(hot > cool, "hot {hot} cool {cool}");
+    }
+
+    #[test]
+    fn zero_stress_means_zero_shift() {
+        let m = AgingModel::default();
+        let d = m.delta_vth(&stress(0.0, 0.0, 85.0), Seconds::from_years(10.0));
+        assert_eq!(d.value(), 0.0);
+    }
+
+    #[test]
+    fn zero_time_means_zero_shift() {
+        let m = AgingModel::default();
+        let d = m.delta_vth(&stress(0.5, 0.5, 85.0), Seconds(0.0));
+        assert_eq!(d.value(), 0.0);
+    }
+
+    #[test]
+    fn nbti_dominates_under_static_stress() {
+        // Pure duty-cycle stress, no switching: NBTI > HCI.
+        let m = AgingModel::default();
+        let s = stress(0.9, 0.01, 85.0);
+        let t = Seconds::from_years(5.0);
+        assert!(m.nbti_delta_vth(&s, t).value() > m.hci_delta_vth(&s, t).value());
+    }
+
+    #[test]
+    fn sublinear_in_time() {
+        // Power law with n < 1: doubling time less than doubles the shift.
+        let m = AgingModel::default();
+        let s = stress(0.5, 0.2, 85.0);
+        let d1 = m.delta_vth(&s, Seconds::from_years(1.0)).value();
+        let d2 = m.delta_vth(&s, Seconds::from_years(2.0)).value();
+        assert!(d2 < 2.0 * d1);
+        assert!(d2 > d1);
+    }
+}

@@ -1,0 +1,413 @@
+//! Standard cells and cell libraries.
+//!
+//! A [`Library`] holds characterized [`StandardCell`]s: each cell has a
+//! logic kind, a drive strength, per-input pin capacitance, and NLDM lookup
+//! tables for propagation delay and output slew over (input slew, output
+//! load). The built-in catalog spans 12 logic kinds × 5 drive strengths =
+//! 60 cells — the same order as the ~59 distinct cells in the paper's
+//! Fig. 2 RISC-V case study.
+
+use crate::error::CircuitError;
+use crate::lut::Lut2d;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The logic function family of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Inverter.
+    Inv,
+    /// Buffer.
+    Buf,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// AND-OR-invert (2-1).
+    Aoi21,
+    /// OR-AND-invert (2-1).
+    Oai21,
+    /// 2-to-1 multiplexer (data0, data1, select).
+    Mux2,
+    /// 3-input majority (carry) gate.
+    Maj3,
+}
+
+impl CellKind {
+    /// All kinds, in catalog order.
+    pub const ALL: [CellKind; 12] = [
+        CellKind::Inv,
+        CellKind::Buf,
+        CellKind::Nand2,
+        CellKind::Nor2,
+        CellKind::And2,
+        CellKind::Or2,
+        CellKind::Xor2,
+        CellKind::Xnor2,
+        CellKind::Aoi21,
+        CellKind::Oai21,
+        CellKind::Mux2,
+        CellKind::Maj3,
+    ];
+
+    /// Number of input pins.
+    #[must_use]
+    pub fn input_count(self) -> usize {
+        match self {
+            CellKind::Inv | CellKind::Buf => 1,
+            CellKind::Nand2
+            | CellKind::Nor2
+            | CellKind::And2
+            | CellKind::Or2
+            | CellKind::Xor2
+            | CellKind::Xnor2 => 2,
+            CellKind::Aoi21 | CellKind::Oai21 | CellKind::Mux2 | CellKind::Maj3 => 3,
+        }
+    }
+
+    /// Logical effort `g`: how much worse than an inverter the kind is at
+    /// driving load, due to transistor stacking (Sutherland-style values).
+    #[must_use]
+    pub fn logical_effort(self) -> f64 {
+        match self {
+            CellKind::Inv => 1.0,
+            CellKind::Buf => 1.1,
+            CellKind::Nand2 => 4.0 / 3.0,
+            CellKind::Nor2 => 5.0 / 3.0,
+            CellKind::And2 => 1.5,
+            CellKind::Or2 => 1.8,
+            CellKind::Xor2 | CellKind::Xnor2 => 2.4,
+            CellKind::Aoi21 => 2.0,
+            CellKind::Oai21 => 2.2,
+            CellKind::Mux2 => 2.1,
+            CellKind::Maj3 => 2.5,
+        }
+    }
+
+    /// Parasitic (intrinsic) delay `p` relative to an inverter.
+    #[must_use]
+    pub fn parasitic(self) -> f64 {
+        match self {
+            CellKind::Inv => 1.0,
+            CellKind::Buf => 2.0,
+            CellKind::Nand2 => 2.0,
+            CellKind::Nor2 => 2.2,
+            CellKind::And2 | CellKind::Or2 => 2.8,
+            CellKind::Xor2 | CellKind::Xnor2 => 3.6,
+            CellKind::Aoi21 | CellKind::Oai21 => 3.0,
+            CellKind::Mux2 => 3.2,
+            CellKind::Maj3 => 3.8,
+        }
+    }
+
+    /// Relative input-pin capacitance per unit drive (stacked gates present
+    /// more gate area per input).
+    #[must_use]
+    pub fn pin_cap_factor(self) -> f64 {
+        match self {
+            CellKind::Inv | CellKind::Buf => 1.0,
+            CellKind::Nand2 | CellKind::And2 => 1.33,
+            CellKind::Nor2 | CellKind::Or2 => 1.66,
+            CellKind::Xor2 | CellKind::Xnor2 => 2.0,
+            CellKind::Aoi21 | CellKind::Oai21 | CellKind::Mux2 => 1.8,
+            CellKind::Maj3 => 2.0,
+        }
+    }
+
+    /// Evaluates the logic function on boolean inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != input_count()`.
+    #[must_use]
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert_eq!(inputs.len(), self.input_count(), "wrong input count");
+        match self {
+            CellKind::Inv => !inputs[0],
+            CellKind::Buf => inputs[0],
+            CellKind::Nand2 => !(inputs[0] && inputs[1]),
+            CellKind::Nor2 => !(inputs[0] || inputs[1]),
+            CellKind::And2 => inputs[0] && inputs[1],
+            CellKind::Or2 => inputs[0] || inputs[1],
+            CellKind::Xor2 => inputs[0] ^ inputs[1],
+            CellKind::Xnor2 => !(inputs[0] ^ inputs[1]),
+            CellKind::Aoi21 => !((inputs[0] && inputs[1]) || inputs[2]),
+            CellKind::Oai21 => !((inputs[0] || inputs[1]) && inputs[2]),
+            CellKind::Mux2 => {
+                if inputs[2] {
+                    inputs[1]
+                } else {
+                    inputs[0]
+                }
+            }
+            CellKind::Maj3 => {
+                (inputs[0] && inputs[1]) || (inputs[0] && inputs[2]) || (inputs[1] && inputs[2])
+            }
+        }
+    }
+
+    /// Catalog name prefix (e.g. `NAND2`).
+    #[must_use]
+    pub fn prefix(self) -> &'static str {
+        match self {
+            CellKind::Inv => "INV",
+            CellKind::Buf => "BUF",
+            CellKind::Nand2 => "NAND2",
+            CellKind::Nor2 => "NOR2",
+            CellKind::And2 => "AND2",
+            CellKind::Or2 => "OR2",
+            CellKind::Xor2 => "XOR2",
+            CellKind::Xnor2 => "XNOR2",
+            CellKind::Aoi21 => "AOI21",
+            CellKind::Oai21 => "OAI21",
+            CellKind::Mux2 => "MUX2",
+            CellKind::Maj3 => "MAJ3",
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.prefix())
+    }
+}
+
+/// Standard drive strengths in the built-in catalog (unit-width multiples).
+pub const DRIVE_STRENGTHS: [f64; 5] = [1.0, 2.0, 3.0, 4.0, 8.0];
+
+/// Formats a catalog cell name, e.g. `NAND2_X2`.
+#[must_use]
+pub fn cell_name(kind: CellKind, drive: f64) -> String {
+    // Drives are small integers in the catalog; format without decimals.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let d = drive.round() as u64;
+    format!("{}_X{}", kind.prefix(), d)
+}
+
+/// A characterized standard cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardCell {
+    /// Catalog name, e.g. `NAND2_X2`.
+    pub name: String,
+    /// Logic kind.
+    pub kind: CellKind,
+    /// Drive strength in unit widths.
+    pub drive: f64,
+    /// Input-pin capacitance in fF (same for every input pin).
+    pub pin_cap_ff: f64,
+    /// Propagation delay LUT over (input slew ps, output load fF) → ps.
+    pub delay: Lut2d,
+    /// Output slew LUT over (input slew ps, output load fF) → ps.
+    pub out_slew: Lut2d,
+}
+
+impl StandardCell {
+    /// Looks up delay and output slew at an operating point.
+    #[must_use]
+    pub fn timing(&self, slew_ps: f64, load_ff: f64) -> (f64, f64) {
+        (
+            self.delay.lookup(slew_ps, load_ff),
+            self.out_slew.lookup(slew_ps, load_ff),
+        )
+    }
+}
+
+/// Index of a cell within a [`Library`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub usize);
+
+/// A collection of characterized cells with name lookup.
+#[derive(Debug, Clone, Default)]
+pub struct Library {
+    cells: Vec<StandardCell>,
+    by_name: HashMap<String, CellId>,
+}
+
+impl Library {
+    /// An empty library.
+    #[must_use]
+    pub fn new() -> Self {
+        Library::default()
+    }
+
+    /// Adds a cell, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownCell`] — reused as a duplicate-name
+    /// signal — if a cell with the same name already exists.
+    pub fn add(&mut self, cell: StandardCell) -> Result<CellId, CircuitError> {
+        if self.by_name.contains_key(&cell.name) {
+            return Err(CircuitError::UnknownCell(format!(
+                "duplicate cell name {}",
+                cell.name
+            )));
+        }
+        let id = CellId(self.cells.len());
+        self.by_name.insert(cell.name.clone(), id);
+        self.cells.push(cell);
+        Ok(id)
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the library is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The cell for an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn cell(&self, id: CellId) -> &StandardCell {
+        &self.cells[id.0]
+    }
+
+    /// Looks up a cell by name.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<CellId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterates over `(id, cell)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CellId, &StandardCell)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CellId(i), c))
+    }
+
+    /// The id of a cell of `kind` with drive closest to `drive`.
+    ///
+    /// Returns `None` on an empty library or if the kind is absent.
+    #[must_use]
+    pub fn closest_drive(&self, kind: CellKind, drive: f64) -> Option<CellId> {
+        self.iter()
+            .filter(|(_, c)| c.kind == kind)
+            .min_by(|(_, a), (_, b)| {
+                (a.drive - drive)
+                    .abs()
+                    .partial_cmp(&(b.drive - drive).abs())
+                    .expect("finite drives")
+            })
+            .map(|(id, _)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_lut(v: f64) -> Lut2d {
+        Lut2d::new(vec![10.0, 100.0], vec![1.0, 10.0], vec![vec![v, v], vec![v, v]]).unwrap()
+    }
+
+    fn cell(name: &str, kind: CellKind, drive: f64) -> StandardCell {
+        StandardCell {
+            name: name.to_owned(),
+            kind,
+            drive,
+            pin_cap_ff: 1.0,
+            delay: flat_lut(5.0),
+            out_slew: flat_lut(20.0),
+        }
+    }
+
+    #[test]
+    fn kind_catalog_is_consistent() {
+        for kind in CellKind::ALL {
+            assert!(kind.input_count() >= 1 && kind.input_count() <= 3);
+            assert!(kind.logical_effort() >= 1.0);
+            assert!(kind.parasitic() >= 1.0);
+            assert!(kind.pin_cap_factor() >= 1.0);
+            assert!(!kind.prefix().is_empty());
+        }
+    }
+
+    #[test]
+    fn logic_truth_tables() {
+        use CellKind::*;
+        assert!(Inv.eval(&[false]));
+        assert!(!Inv.eval(&[true]));
+        assert!(Nand2.eval(&[true, false]));
+        assert!(!Nand2.eval(&[true, true]));
+        assert!(Nor2.eval(&[false, false]));
+        assert!(!Nor2.eval(&[true, false]));
+        assert!(Xor2.eval(&[true, false]));
+        assert!(!Xor2.eval(&[true, true]));
+        assert!(Xnor2.eval(&[true, true]));
+        assert!(!Aoi21.eval(&[true, true, false]));
+        assert!(Aoi21.eval(&[true, false, false]));
+        assert!(!Oai21.eval(&[true, false, true]));
+        assert!(Oai21.eval(&[false, false, true]));
+        assert!(Mux2.eval(&[false, true, true]));
+        assert!(!Mux2.eval(&[false, true, false]));
+        assert!(Maj3.eval(&[true, true, false]));
+        assert!(!Maj3.eval(&[true, false, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong input count")]
+    fn eval_wrong_arity_panics() {
+        let _ = CellKind::Nand2.eval(&[true]);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(cell_name(CellKind::Nand2, 2.0), "NAND2_X2");
+        assert_eq!(cell_name(CellKind::Inv, 8.0), "INV_X8");
+    }
+
+    #[test]
+    fn library_add_find() {
+        let mut lib = Library::new();
+        let id = lib.add(cell("INV_X1", CellKind::Inv, 1.0)).unwrap();
+        assert_eq!(lib.find("INV_X1"), Some(id));
+        assert_eq!(lib.find("NAND2_X1"), None);
+        assert_eq!(lib.len(), 1);
+        assert!(!lib.is_empty());
+        assert_eq!(lib.cell(id).kind, CellKind::Inv);
+    }
+
+    #[test]
+    fn library_rejects_duplicates() {
+        let mut lib = Library::new();
+        lib.add(cell("INV_X1", CellKind::Inv, 1.0)).unwrap();
+        assert!(lib.add(cell("INV_X1", CellKind::Inv, 1.0)).is_err());
+    }
+
+    #[test]
+    fn closest_drive_picks_nearest() {
+        let mut lib = Library::new();
+        lib.add(cell("INV_X1", CellKind::Inv, 1.0)).unwrap();
+        let x4 = lib.add(cell("INV_X4", CellKind::Inv, 4.0)).unwrap();
+        let x8 = lib.add(cell("INV_X8", CellKind::Inv, 8.0)).unwrap();
+        assert_eq!(lib.closest_drive(CellKind::Inv, 5.0), Some(x4));
+        assert_eq!(lib.closest_drive(CellKind::Inv, 100.0), Some(x8));
+        assert_eq!(lib.closest_drive(CellKind::Nand2, 1.0), None);
+    }
+
+    #[test]
+    fn timing_lookup() {
+        let c = cell("BUF_X1", CellKind::Buf, 1.0);
+        let (d, s) = c.timing(50.0, 5.0);
+        assert_eq!(d, 5.0);
+        assert_eq!(s, 20.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Library characterization flows.
+//!
+//! Three characterizations mirror the paper's Fig. 3:
+//!
+//! 1. [`characterize_library`] — the conventional flow: golden-model sweeps
+//!    over a (slew × load) grid at one corner (temperature, ΔVth), producing
+//!    NLDM delay/slew tables.
+//! 2. [`characterize_library_with_she`] — SHE-aware: at every grid point the
+//!    device temperature is raised by its *own* self-heating ΔT before the
+//!    golden run, so the tables embed the SHE feedback.
+//! 3. [`she_as_delay_library`] — the Fig. 3 trick: a library whose *delay*
+//!    slots contain the SHE temperatures. Running conventional STA with this
+//!    library produces an "SDF" whose numbers are per-instance SHE
+//!    temperatures rather than delays.
+
+use crate::cell::{cell_name, CellKind, Library, StandardCell, DRIVE_STRENGTHS};
+use crate::error::CircuitError;
+use crate::lut::Lut2d;
+use crate::she::SheModel;
+use crate::spicelike::{GoldenSimulator, OperatingPoint};
+use lori_core::units::{Celsius, Volts};
+
+/// Default input-slew grid in ps.
+pub const DEFAULT_SLEWS: [f64; 6] = [5.0, 10.0, 20.0, 40.0, 80.0, 160.0];
+/// Default output-load grid in fF.
+pub const DEFAULT_LOADS: [f64; 6] = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0];
+
+/// A characterization corner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Corner {
+    /// Chip (ambient die) temperature.
+    pub chip_temperature: Celsius,
+    /// Uniform aging shift applied to every device.
+    pub delta_vth: Volts,
+}
+
+impl Default for Corner {
+    fn default() -> Self {
+        Corner {
+            chip_temperature: Celsius(65.0),
+            delta_vth: Volts(0.0),
+        }
+    }
+}
+
+/// Characterizes one cell at a corner, optionally with per-point SHE.
+fn characterize_cell(
+    sim: &GoldenSimulator,
+    kind: CellKind,
+    drive: f64,
+    corner: &Corner,
+    she: Option<&SheModel>,
+) -> Result<StandardCell, CircuitError> {
+    let slews = DEFAULT_SLEWS.to_vec();
+    let loads = DEFAULT_LOADS.to_vec();
+    let mut delay = vec![vec![0.0; loads.len()]; slews.len()];
+    let mut out_slew = vec![vec![0.0; loads.len()]; slews.len()];
+    for (i, &s) in slews.iter().enumerate() {
+        for (j, &l) in loads.iter().enumerate() {
+            let dt = she.map_or(0.0, |m| m.delta_t(drive, s, l, m.default_activity).value());
+            let op = OperatingPoint {
+                slew_ps: s,
+                load_ff: l,
+                temperature: Celsius(corner.chip_temperature.value() + dt),
+                delta_vth: corner.delta_vth,
+            };
+            let t = sim.characterize(kind, drive, &op);
+            if !t.delay_ps.is_finite() {
+                return Err(CircuitError::InvalidParameter {
+                    what: "corner produced non-switching cell",
+                    value: corner.delta_vth.value(),
+                });
+            }
+            delay[i][j] = t.delay_ps;
+            out_slew[i][j] = t.out_slew_ps;
+        }
+    }
+    Ok(StandardCell {
+        name: cell_name(kind, drive),
+        kind,
+        drive,
+        pin_cap_ff: kind.pin_cap_factor() * sim.tech().unit_pin_cap_ff * drive,
+        delay: Lut2d::new(slews.clone(), loads.clone(), delay)?,
+        out_slew: Lut2d::new(slews, loads, out_slew)?,
+    })
+}
+
+/// Characterizes the full built-in catalog (12 kinds × 5 drives = 60 cells)
+/// at a corner with the conventional flow (no SHE feedback).
+///
+/// # Errors
+///
+/// Propagates characterization failures (e.g. a corner so aged that cells
+/// stop switching).
+pub fn characterize_library(
+    sim: &GoldenSimulator,
+    corner: &Corner,
+) -> Result<Library, CircuitError> {
+    build_library(sim, corner, None)
+}
+
+/// Characterizes the catalog with per-operating-point self-heating applied
+/// (the upper path of Fig. 3 with SHE folded into the timing).
+///
+/// # Errors
+///
+/// Propagates characterization failures.
+pub fn characterize_library_with_she(
+    sim: &GoldenSimulator,
+    corner: &Corner,
+    she: &SheModel,
+) -> Result<Library, CircuitError> {
+    she.validate()?;
+    build_library(sim, corner, Some(she))
+}
+
+fn build_library(
+    sim: &GoldenSimulator,
+    corner: &Corner,
+    she: Option<&SheModel>,
+) -> Result<Library, CircuitError> {
+    let mut lib = Library::new();
+    for kind in CellKind::ALL {
+        for drive in DRIVE_STRENGTHS {
+            lib.add(characterize_cell(sim, kind, drive, corner, she)?)?;
+        }
+    }
+    Ok(lib)
+}
+
+/// Builds the Fig.-3 "temperatures in the delay slots" library: cells whose
+/// delay LUT holds the SHE ΔT (in K) for each (slew, load) point and whose
+/// output-slew LUT is copied from a timing library so slew propagation in
+/// STA still behaves. An STA run with this library reports per-instance SHE
+/// instead of delays.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidParameter`] via SHE validation, or grid
+/// errors.
+pub fn she_as_delay_library(
+    timing_library: &Library,
+    she: &SheModel,
+) -> Result<Library, CircuitError> {
+    she.validate()?;
+    let mut lib = Library::new();
+    for (_, cell) in timing_library.iter() {
+        let slews = cell.delay.slews().to_vec();
+        let loads = cell.delay.loads().to_vec();
+        let mut values = vec![vec![0.0; loads.len()]; slews.len()];
+        for (i, &s) in slews.iter().enumerate() {
+            for (j, &l) in loads.iter().enumerate() {
+                values[i][j] = she
+                    .delta_t(cell.drive, s, l, she.default_activity)
+                    .value();
+            }
+        }
+        lib.add(StandardCell {
+            name: cell.name.clone(),
+            kind: cell.kind,
+            drive: cell.drive,
+            pin_cap_ff: cell.pin_cap_ff,
+            delay: Lut2d::new(slews, loads, values)?,
+            out_slew: cell.out_slew.clone(),
+        })?;
+    }
+    Ok(lib)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::TechParams;
+
+    fn sim() -> GoldenSimulator {
+        GoldenSimulator::new(TechParams::default()).unwrap()
+    }
+
+    #[test]
+    fn catalog_has_sixty_cells() {
+        let lib = characterize_library(&sim(), &Corner::default()).unwrap();
+        assert_eq!(lib.len(), 60);
+        assert!(lib.find("INV_X1").is_some());
+        assert!(lib.find("MAJ3_X8").is_some());
+    }
+
+    #[test]
+    fn tables_are_monotone_in_load() {
+        let lib = characterize_library(&sim(), &Corner::default()).unwrap();
+        let inv = lib.cell(lib.find("INV_X1").unwrap());
+        let (d_small, _) = inv.timing(20.0, 1.0);
+        let (d_big, _) = inv.timing(20.0, 8.0);
+        assert!(d_big > d_small);
+    }
+
+    #[test]
+    fn she_library_is_slower_than_plain() {
+        let s = sim();
+        let plain = characterize_library(&s, &Corner::default()).unwrap();
+        let she = characterize_library_with_she(&s, &Corner::default(), &SheModel::default())
+            .unwrap();
+        // SHE heats devices, so delays must be >= everywhere we sample.
+        let a = plain.cell(plain.find("NAND2_X1").unwrap());
+        let b = she.cell(she.find("NAND2_X1").unwrap());
+        let (da, _) = a.timing(40.0, 8.0);
+        let (db, _) = b.timing(40.0, 8.0);
+        assert!(db > da, "with SHE {db} vs plain {da}");
+    }
+
+    #[test]
+    fn aged_corner_is_slower() {
+        let s = sim();
+        let fresh = characterize_library(&s, &Corner::default()).unwrap();
+        let aged_corner = Corner {
+            delta_vth: Volts(0.05),
+            ..Corner::default()
+        };
+        let aged = characterize_library(&s, &aged_corner).unwrap();
+        let f = fresh.cell(fresh.find("XOR2_X2").unwrap());
+        let a = aged.cell(aged.find("XOR2_X2").unwrap());
+        assert!(a.timing(20.0, 4.0).0 > f.timing(20.0, 4.0).0);
+    }
+
+    #[test]
+    fn she_as_delay_holds_temperatures() {
+        let s = sim();
+        let timing = characterize_library(&s, &Corner::default()).unwrap();
+        let she_lib = she_as_delay_library(&timing, &SheModel::default()).unwrap();
+        assert_eq!(she_lib.len(), timing.len());
+        let cell = she_lib.cell(she_lib.find("INV_X1").unwrap());
+        // "Delays" are now kelvin in the Fig.-2 regime, not ps.
+        let (dt, _) = cell.timing(40.0, 8.0);
+        assert!(dt > 0.0 && dt < 60.0, "ΔT {dt}");
+        // Hotter at higher load.
+        assert!(cell.timing(40.0, 16.0).0 > cell.timing(40.0, 1.0).0);
+    }
+
+    #[test]
+    fn catastrophic_corner_fails_cleanly() {
+        let s = sim();
+        let dead = Corner {
+            delta_vth: Volts(0.6),
+            ..Corner::default()
+        };
+        assert!(characterize_library(&s, &dead).is_err());
+    }
+}

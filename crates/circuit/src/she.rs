@@ -1,0 +1,163 @@
+//! Transistor self-heating (SHE).
+//!
+//! In confined FinFET/nanosheet geometries, switching power dissipated in
+//! the channel cannot escape, so each device runs hotter than the chip around
+//! it. Fig. 2 of the paper shows the consequence at circuit level: even with
+//! only ~59 distinct standard cells, per-instance SHE temperatures spread
+//! widely because the *context* — input slew, connected load, and switching
+//! activity — differs per instance.
+//!
+//! The model here follows that structure: SHE ΔT is the product of the
+//! energy dissipated per transition (grows with load and with slew-induced
+//! short-circuit current) and a thermal resistance that *shrinks* with
+//! device width (wider devices spread heat better), scaled by activity.
+
+use crate::error::CircuitError;
+use lori_core::units::Kelvin;
+
+/// Self-heating model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SheModel {
+    /// Thermal-resistance scale of a unit-width device, in K per fF of
+    /// switched load at unit activity.
+    pub rth_per_ff: f64,
+    /// Short-circuit contribution weight: extra heating per ps of input
+    /// slew (slow edges keep both networks conducting longer).
+    pub short_circuit_per_ps: f64,
+    /// Width exponent: `R_th ∝ width^(−γ)`.
+    pub width_exponent: f64,
+    /// Activity assumed when none is supplied (transitions per cycle).
+    pub default_activity: f64,
+}
+
+impl Default for SheModel {
+    /// Calibrated so a processor-scale netlist shows per-instance SHE in the
+    /// ~1–30 K band, matching the magnitude regime of the paper's Fig. 2.
+    fn default() -> Self {
+        SheModel {
+            rth_per_ff: 1.1,
+            short_circuit_per_ps: 0.06,
+            width_exponent: 0.6,
+            default_activity: 0.15,
+        }
+    }
+}
+
+impl SheModel {
+    /// Validates the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] for non-positive scales or
+    /// an activity outside `(0, 1]`.
+    pub fn validate(&self) -> Result<(), CircuitError> {
+        if self.rth_per_ff <= 0.0 {
+            return Err(CircuitError::InvalidParameter {
+                what: "rth_per_ff",
+                value: self.rth_per_ff,
+            });
+        }
+        if self.short_circuit_per_ps < 0.0 {
+            return Err(CircuitError::InvalidParameter {
+                what: "short_circuit_per_ps",
+                value: self.short_circuit_per_ps,
+            });
+        }
+        if !(self.default_activity > 0.0 && self.default_activity <= 1.0) {
+            return Err(CircuitError::InvalidParameter {
+                what: "default_activity",
+                value: self.default_activity,
+            });
+        }
+        Ok(())
+    }
+
+    /// SHE temperature rise above chip temperature for a device of `width`
+    /// unit widths, driven with `slew_ps` input slew, driving `load_ff`,
+    /// toggling with `activity` transitions per cycle.
+    ///
+    /// Activity outside `[0, 1]` is clamped; negative slew/load clamp to 0.
+    #[must_use]
+    pub fn delta_t(&self, width: f64, slew_ps: f64, load_ff: f64, activity: f64) -> Kelvin {
+        let load = load_ff.max(0.0);
+        let slew = slew_ps.max(0.0);
+        let act = activity.clamp(0.0, 1.0);
+        let rth = self.rth_per_ff / width.max(0.25).powf(self.width_exponent);
+        let heating = (load + self.short_circuit_per_ps * slew * width.max(0.25)) * act;
+        Kelvin(rth * heating)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        SheModel::default().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_params() {
+        let mut m = SheModel::default();
+        m.rth_per_ff = 0.0;
+        assert!(m.validate().is_err());
+        let mut m = SheModel::default();
+        m.short_circuit_per_ps = -0.1;
+        assert!(m.validate().is_err());
+        let mut m = SheModel::default();
+        m.default_activity = 0.0;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn more_load_means_hotter() {
+        let m = SheModel::default();
+        let small = m.delta_t(1.0, 20.0, 2.0, 0.2).value();
+        let large = m.delta_t(1.0, 20.0, 10.0, 0.2).value();
+        assert!(large > small);
+    }
+
+    #[test]
+    fn slower_edges_mean_hotter() {
+        let m = SheModel::default();
+        let fast = m.delta_t(1.0, 5.0, 4.0, 0.2).value();
+        let slow = m.delta_t(1.0, 80.0, 4.0, 0.2).value();
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn wider_devices_spread_heat() {
+        // Same switched load: the wider device runs cooler per unit load,
+        // though its short-circuit term grows; test with load-dominated case.
+        let m = SheModel::default();
+        let narrow = m.delta_t(1.0, 5.0, 10.0, 0.2).value();
+        let wide = m.delta_t(4.0, 5.0, 10.0, 0.2).value();
+        assert!(wide < narrow, "wide {wide} narrow {narrow}");
+    }
+
+    #[test]
+    fn idle_devices_do_not_heat() {
+        let m = SheModel::default();
+        assert_eq!(m.delta_t(1.0, 20.0, 5.0, 0.0).value(), 0.0);
+    }
+
+    #[test]
+    fn magnitudes_in_fig2_regime() {
+        // Typical contexts land in ~0.5–40 K above chip temperature.
+        let m = SheModel::default();
+        for (slew, load, act) in [(5.0, 1.0, 0.05), (30.0, 8.0, 0.2), (120.0, 25.0, 0.5)] {
+            let dt = m.delta_t(1.0, slew, load, act).value();
+            assert!(dt > 0.0 && dt < 60.0, "ΔT {dt}");
+        }
+    }
+
+    #[test]
+    fn pathological_inputs_clamp() {
+        let m = SheModel::default();
+        assert_eq!(m.delta_t(1.0, -5.0, -3.0, 0.5).value(), 0.0);
+        let hot = m.delta_t(1.0, 10.0, 5.0, 99.0).value();
+        let unit = m.delta_t(1.0, 10.0, 5.0, 1.0).value();
+        assert!((hot - unit).abs() < 1e-12);
+    }
+}

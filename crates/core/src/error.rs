@@ -1,0 +1,61 @@
+//! Error type shared by the LORI core substrate.
+
+use std::fmt;
+
+/// Errors produced by `lori-core` constructors and validators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A probability value was outside `[0, 1]` or not finite.
+    InvalidProbability(f64),
+    /// A physical quantity that must be strictly positive was not.
+    NonPositive {
+        /// Name of the offending quantity.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A physical quantity that must be finite was NaN or infinite.
+    NotFinite {
+        /// Name of the offending quantity.
+        what: &'static str,
+    },
+    /// An empty collection was supplied where at least one element is needed.
+    Empty(&'static str),
+    /// A pair of collections had mismatched lengths.
+    LengthMismatch {
+        /// Name of the first collection.
+        left: &'static str,
+        /// Length of the first collection.
+        left_len: usize,
+        /// Name of the second collection.
+        right: &'static str,
+        /// Length of the second collection.
+        right_len: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidProbability(v) => {
+                write!(f, "probability {v} is not within [0, 1]")
+            }
+            Error::NonPositive { what, value } => {
+                write!(f, "{what} must be strictly positive, got {value}")
+            }
+            Error::NotFinite { what } => write!(f, "{what} must be finite"),
+            Error::Empty(what) => write!(f, "{what} must not be empty"),
+            Error::LengthMismatch {
+                left,
+                left_len,
+                right,
+                right_len,
+            } => write!(
+                f,
+                "length mismatch: {left} has {left_len} elements but {right} has {right_len}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

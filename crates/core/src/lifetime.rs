@@ -1,0 +1,221 @@
+//! Lifetime distributions used by system-level reliability models.
+//!
+//! The device-level MTTF models in `lori-sys` (EM, TDDB, TC, NBTI, HCI)
+//! produce *scale* parameters for these distributions; this module provides
+//! the distribution math itself: reliability functions `R(t)`, MTTF, and
+//! sampling.
+
+use crate::error::Error;
+use crate::rng::Rng;
+use crate::units::{Probability, Seconds};
+
+/// A parametric lifetime distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Lifetime {
+    /// Exponential with the given failure rate (per second). Memoryless;
+    /// appropriate for soft errors and random hard failures.
+    Exponential {
+        /// Failure rate λ in failures per second (must be > 0).
+        rate: f64,
+    },
+    /// Weibull with scale α (seconds) and shape β. β > 1 models wear-out
+    /// (aging), which is the standard choice for EM/TDDB/TC lifetime models.
+    Weibull {
+        /// Scale parameter α in seconds (must be > 0).
+        scale: f64,
+        /// Shape parameter β (must be > 0).
+        shape: f64,
+    },
+}
+
+impl Lifetime {
+    /// Creates an exponential lifetime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonPositive`] if `rate <= 0` or not finite.
+    pub fn exponential(rate: f64) -> Result<Self, Error> {
+        if rate > 0.0 && rate.is_finite() {
+            Ok(Lifetime::Exponential { rate })
+        } else {
+            Err(Error::NonPositive {
+                what: "exponential rate",
+                value: rate,
+            })
+        }
+    }
+
+    /// Creates a Weibull lifetime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonPositive`] if `scale <= 0` or `shape <= 0`.
+    pub fn weibull(scale: f64, shape: f64) -> Result<Self, Error> {
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(Error::NonPositive {
+                what: "weibull scale",
+                value: scale,
+            });
+        }
+        if !(shape > 0.0 && shape.is_finite()) {
+            return Err(Error::NonPositive {
+                what: "weibull shape",
+                value: shape,
+            });
+        }
+        Ok(Lifetime::Weibull { scale, shape })
+    }
+
+    /// Reliability function `R(t)`: probability of surviving past `t`.
+    #[must_use]
+    pub fn reliability(&self, t: Seconds) -> Probability {
+        let t = t.value().max(0.0);
+        let r = match *self {
+            Lifetime::Exponential { rate } => (-rate * t).exp(),
+            Lifetime::Weibull { scale, shape } => (-(t / scale).powf(shape)).exp(),
+        };
+        Probability::saturating(r)
+    }
+
+    /// Mean time to failure.
+    ///
+    /// For Weibull this is `α · Γ(1 + 1/β)`.
+    #[must_use]
+    pub fn mttf(&self) -> Seconds {
+        match *self {
+            Lifetime::Exponential { rate } => Seconds(1.0 / rate),
+            Lifetime::Weibull { scale, shape } => Seconds(scale * gamma(1.0 + 1.0 / shape)),
+        }
+    }
+
+    /// Samples a failure time.
+    #[must_use]
+    pub fn sample(&self, rng: &mut Rng) -> Seconds {
+        let u = 1.0 - rng.uniform(); // in (0, 1]
+        match *self {
+            Lifetime::Exponential { rate } => Seconds(-u.ln() / rate),
+            Lifetime::Weibull { scale, shape } => Seconds(scale * (-u.ln()).powf(1.0 / shape)),
+        }
+    }
+}
+
+/// Lanczos approximation of the gamma function (g = 7, n = 9), accurate to
+/// ~15 significant digits for positive arguments — plenty for lifetime math.
+#[must_use]
+pub fn gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + G + 0.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                a += c / (x + i as f64);
+            }
+        }
+        (std::f64::consts::TAU).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_known_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(2.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(5.0) - 24.0).abs() < 1e-8);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(Lifetime::exponential(0.0).is_err());
+        assert!(Lifetime::exponential(-1.0).is_err());
+        assert!(Lifetime::weibull(0.0, 2.0).is_err());
+        assert!(Lifetime::weibull(1.0, 0.0).is_err());
+        assert!(Lifetime::weibull(1.0, 2.0).is_ok());
+    }
+
+    #[test]
+    fn exponential_reliability_and_mttf() {
+        let l = Lifetime::exponential(0.5).unwrap();
+        assert!((l.mttf().value() - 2.0).abs() < 1e-12);
+        let r = l.reliability(Seconds(2.0));
+        assert!((r.value() - (-1.0f64).exp()).abs() < 1e-12);
+        // R(0) = 1
+        assert!((l.reliability(Seconds(0.0)).value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let w = Lifetime::weibull(2.0, 1.0).unwrap();
+        let e = Lifetime::exponential(0.5).unwrap();
+        for t in [0.1, 1.0, 5.0] {
+            let rw = w.reliability(Seconds(t)).value();
+            let re = e.reliability(Seconds(t)).value();
+            assert!((rw - re).abs() < 1e-12, "t={t}: {rw} vs {re}");
+        }
+        assert!((w.mttf().value() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weibull_mttf_gamma() {
+        // β = 2: MTTF = α·Γ(1.5) = α·√π/2.
+        let w = Lifetime::weibull(100.0, 2.0).unwrap();
+        let expect = 100.0 * std::f64::consts::PI.sqrt() / 2.0;
+        assert!((w.mttf().value() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sampling_mean_approaches_mttf() {
+        let mut rng = Rng::from_seed(99);
+        for dist in [
+            Lifetime::exponential(0.1).unwrap(),
+            Lifetime::weibull(10.0, 2.0).unwrap(),
+        ] {
+            let n = 100_000;
+            #[allow(clippy::cast_precision_loss)]
+            let mean =
+                (0..n).map(|_| dist.sample(&mut rng).value()).sum::<f64>() / n as f64;
+            let mttf = dist.mttf().value();
+            assert!(
+                (mean - mttf).abs() / mttf < 0.02,
+                "mean {mean} vs mttf {mttf}"
+            );
+        }
+    }
+
+    #[test]
+    fn reliability_is_monotone_decreasing() {
+        let w = Lifetime::weibull(5.0, 3.0).unwrap();
+        let mut prev = 1.0;
+        for i in 0..100 {
+            let r = w.reliability(Seconds(f64::from(i) * 0.2)).value();
+            assert!(r <= prev + 1e-15);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn negative_time_clamps_to_full_reliability() {
+        let l = Lifetime::exponential(1.0).unwrap();
+        assert!((l.reliability(Seconds(-5.0)).value() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,273 @@
+//! The learning-based reliability-management loop of the paper's Fig. 1.
+//!
+//! The figure shows a closed loop: an **agent** observes the **state** of the
+//! managed system, picks an **action** (an optimization knob setting), the
+//! **environment** applies it, and a **reward** derived from a resiliency
+//! model (e.g. MTTF) drives learning.
+//!
+//! This module provides the abstraction; `lori-ml::rl` provides tabular
+//! learners implementing [`Agent`], and `lori-sys` provides concrete
+//! environments (DVFS/DPM/mapping knobs on a simulated multicore).
+
+use std::fmt::Debug;
+
+/// A fully-observed environment with discrete states and actions, in the
+/// standard episodic RL interface.
+///
+/// States and actions are dense indices (`usize`) so tabular agents can store
+/// values in flat arrays; environments are responsible for discretizing their
+/// raw observations (temperature, utilization, ...) into state indices.
+pub trait Environment {
+    /// Number of distinct states.
+    fn state_count(&self) -> usize;
+    /// Number of distinct actions.
+    fn action_count(&self) -> usize;
+    /// Resets to the start of an episode and returns the initial state.
+    fn reset(&mut self) -> usize;
+    /// Applies `action`, returning the transition result.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `action >= action_count()`.
+    fn step(&mut self, action: usize) -> Transition;
+}
+
+/// The result of one environment step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transition {
+    /// The state after the action.
+    pub next_state: usize,
+    /// The reward obtained (e.g. a function of MTTF, energy, deadline misses).
+    pub reward: f64,
+    /// Whether the episode ended.
+    pub done: bool,
+}
+
+/// A learning controller: observes states, selects actions, learns from
+/// transitions. Object-safe so managers can hold `Box<dyn Agent>`.
+pub trait Agent {
+    /// Selects an action for `state` (may explore).
+    fn act(&mut self, state: usize) -> usize;
+    /// Selects the greedy action for `state` (no exploration).
+    fn best_action(&self, state: usize) -> usize;
+    /// Learns from an observed transition.
+    fn learn(&mut self, state: usize, action: usize, transition: &Transition);
+    /// Called at episode boundaries (e.g. to decay exploration).
+    fn end_episode(&mut self) {}
+}
+
+/// Summary of a training run of the management loop.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrainingReport {
+    /// Total reward per episode, in order.
+    pub episode_rewards: Vec<f64>,
+    /// Steps taken per episode.
+    pub episode_lengths: Vec<usize>,
+}
+
+impl TrainingReport {
+    /// Mean reward over the last `n` episodes (all, if fewer).
+    #[must_use]
+    pub fn recent_mean_reward(&self, n: usize) -> f64 {
+        let tail: Vec<f64> = self
+            .episode_rewards
+            .iter()
+            .rev()
+            .take(n)
+            .copied()
+            .collect();
+        if tail.is_empty() {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                tail.iter().sum::<f64>() / tail.len() as f64
+            }
+        }
+    }
+}
+
+/// Runs the Fig.-1 loop: trains `agent` on `env` for `episodes` episodes of
+/// at most `max_steps` each.
+///
+/// ```
+/// use lori_core::mgmt::{train, Agent, Environment, Transition};
+///
+/// // A 2-state chain where action 1 always reaches the terminal state.
+/// struct Chain {
+///     s: usize,
+/// }
+/// impl Environment for Chain {
+///     fn state_count(&self) -> usize { 2 }
+///     fn action_count(&self) -> usize { 2 }
+///     fn reset(&mut self) -> usize { self.s = 0; 0 }
+///     fn step(&mut self, action: usize) -> Transition {
+///         if action == 1 {
+///             Transition { next_state: 1, reward: 1.0, done: true }
+///         } else {
+///             Transition { next_state: 0, reward: 0.0, done: false }
+///         }
+///     }
+/// }
+/// struct Always1;
+/// impl Agent for Always1 {
+///     fn act(&mut self, _s: usize) -> usize { 1 }
+///     fn best_action(&self, _s: usize) -> usize { 1 }
+///     fn learn(&mut self, _s: usize, _a: usize, _t: &Transition) {}
+/// }
+/// let report = train(&mut Chain { s: 0 }, &mut Always1, 3, 10);
+/// assert_eq!(report.episode_rewards, vec![1.0, 1.0, 1.0]);
+/// ```
+pub fn train<E, A>(env: &mut E, agent: &mut A, episodes: usize, max_steps: usize) -> TrainingReport
+where
+    E: Environment + ?Sized,
+    A: Agent + ?Sized,
+{
+    let mut report = TrainingReport::default();
+    for _ in 0..episodes {
+        let mut state = env.reset();
+        let mut total = 0.0;
+        let mut steps = 0;
+        for _ in 0..max_steps {
+            let action = agent.act(state);
+            let tr = env.step(action);
+            agent.learn(state, action, &tr);
+            total += tr.reward;
+            steps += 1;
+            state = tr.next_state;
+            if tr.done {
+                break;
+            }
+        }
+        agent.end_episode();
+        report.episode_rewards.push(total);
+        report.episode_lengths.push(steps);
+    }
+    report
+}
+
+/// Evaluates a trained agent greedily (no learning, no exploration),
+/// returning the mean total reward over `episodes`.
+pub fn evaluate<E, A>(env: &mut E, agent: &A, episodes: usize, max_steps: usize) -> f64
+where
+    E: Environment + ?Sized,
+    A: Agent + ?Sized,
+{
+    let mut total = 0.0;
+    for _ in 0..episodes {
+        let mut state = env.reset();
+        for _ in 0..max_steps {
+            let tr = env.step(agent.best_action(state));
+            total += tr.reward;
+            state = tr.next_state;
+            if tr.done {
+                break;
+            }
+        }
+    }
+    #[allow(clippy::cast_precision_loss)]
+    {
+        total / episodes.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A corridor of `n` states; action 0 moves left, 1 moves right.
+    /// Reaching the right end gives +1 and terminates.
+    struct Corridor {
+        n: usize,
+        pos: usize,
+    }
+
+    impl Environment for Corridor {
+        fn state_count(&self) -> usize {
+            self.n
+        }
+        fn action_count(&self) -> usize {
+            2
+        }
+        fn reset(&mut self) -> usize {
+            self.pos = 0;
+            0
+        }
+        fn step(&mut self, action: usize) -> Transition {
+            assert!(action < 2);
+            if action == 1 {
+                self.pos += 1;
+            } else {
+                self.pos = self.pos.saturating_sub(1);
+            }
+            if self.pos == self.n - 1 {
+                Transition {
+                    next_state: self.pos,
+                    reward: 1.0,
+                    done: true,
+                }
+            } else {
+                Transition {
+                    next_state: self.pos,
+                    reward: -0.01,
+                    done: false,
+                }
+            }
+        }
+    }
+
+    struct GoRight;
+    impl Agent for GoRight {
+        fn act(&mut self, _s: usize) -> usize {
+            1
+        }
+        fn best_action(&self, _s: usize) -> usize {
+            1
+        }
+        fn learn(&mut self, _s: usize, _a: usize, _t: &Transition) {}
+    }
+
+    #[test]
+    fn train_reaches_goal() {
+        let mut env = Corridor { n: 5, pos: 0 };
+        let mut agent = GoRight;
+        let report = train(&mut env, &mut agent, 4, 100);
+        assert_eq!(report.episode_lengths, vec![4, 4, 4, 4]);
+        for r in &report.episode_rewards {
+            assert!((r - (1.0 - 0.03)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn max_steps_truncates() {
+        let mut env = Corridor { n: 100, pos: 0 };
+        let mut agent = GoRight;
+        let report = train(&mut env, &mut agent, 1, 10);
+        assert_eq!(report.episode_lengths, vec![10]);
+    }
+
+    #[test]
+    fn evaluate_matches_training_policy() {
+        let mut env = Corridor { n: 5, pos: 0 };
+        let agent = GoRight;
+        let mean = evaluate(&mut env, &agent, 3, 100);
+        assert!((mean - 0.97).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recent_mean_reward() {
+        let report = TrainingReport {
+            episode_rewards: vec![0.0, 1.0, 2.0, 3.0],
+            episode_lengths: vec![1; 4],
+        };
+        assert!((report.recent_mean_reward(2) - 2.5).abs() < 1e-12);
+        assert!((report.recent_mean_reward(100) - 1.5).abs() < 1e-12);
+        assert_eq!(TrainingReport::default().recent_mean_reward(5), 0.0);
+    }
+
+    #[test]
+    fn agent_is_object_safe() {
+        let agent: Box<dyn Agent> = Box::new(GoRight);
+        assert_eq!(agent.best_action(0), 1);
+    }
+}

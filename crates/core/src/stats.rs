@@ -1,0 +1,265 @@
+//! Small statistics helpers used by simulators and experiment harnesses.
+
+use crate::error::Error;
+
+/// Arithmetic mean.
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] on an empty slice.
+pub fn mean(xs: &[f64]) -> Result<f64, Error> {
+    if xs.is_empty() {
+        return Err(Error::Empty("samples"));
+    }
+    #[allow(clippy::cast_precision_loss)]
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance.
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] on an empty slice.
+pub fn variance(xs: &[f64]) -> Result<f64, Error> {
+    let m = mean(xs)?;
+    #[allow(clippy::cast_precision_loss)]
+    Ok(xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation.
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] on an empty slice.
+pub fn std_dev(xs: &[f64]) -> Result<f64, Error> {
+    Ok(variance(xs)?.sqrt())
+}
+
+/// Minimum of a slice of finite floats.
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] on an empty slice.
+pub fn min(xs: &[f64]) -> Result<f64, Error> {
+    xs.iter()
+        .copied()
+        .fold(None, |acc: Option<f64>, x| {
+            Some(acc.map_or(x, |a| a.min(x)))
+        })
+        .ok_or(Error::Empty("samples"))
+}
+
+/// Maximum of a slice of finite floats.
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] on an empty slice.
+pub fn max(xs: &[f64]) -> Result<f64, Error> {
+    xs.iter()
+        .copied()
+        .fold(None, |acc: Option<f64>, x| {
+            Some(acc.map_or(x, |a| a.max(x)))
+        })
+        .ok_or(Error::Empty("samples"))
+}
+
+/// Percentile via linear interpolation on the sorted sample (q in `[0,1]`).
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] on an empty slice or
+/// [`Error::InvalidProbability`] if `q` is outside `[0,1]`.
+pub fn percentile(xs: &[f64], q: f64) -> Result<f64, Error> {
+    if xs.is_empty() {
+        return Err(Error::Empty("samples"));
+    }
+    if !(0.0..=1.0).contains(&q) || q.is_nan() {
+        return Err(Error::InvalidProbability(q));
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    #[allow(clippy::cast_precision_loss)]
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor();
+    let hi = pos.ceil();
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let (li, hi_i) = (lo as usize, hi as usize);
+    if li == hi_i {
+        Ok(sorted[li])
+    } else {
+        Ok(sorted[li] + (pos - lo) * (sorted[hi_i] - sorted[li]))
+    }
+}
+
+/// Median (50th percentile).
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] on an empty slice.
+pub fn median(xs: &[f64]) -> Result<f64, Error> {
+    percentile(xs, 0.5)
+}
+
+/// A streaming mean/variance accumulator (Welford's algorithm).
+///
+/// ```
+/// use lori_core::stats::Running;
+/// let mut r = Running::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     r.push(x);
+/// }
+/// assert_eq!(r.count(), 3);
+/// assert!((r.mean() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Running {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        #[allow(clippy::cast_precision_loss)]
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        self.mean += delta / n;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples seen.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of samples seen (0 if empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 if fewer than two samples).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.m2 / self.n as f64
+            }
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (`+inf` if empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample (`-inf` if empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl Extend<f64> for Running {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Running {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut r = Running::new();
+        r.extend(iter);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs).unwrap() - 5.0).abs() < 1e-12);
+        assert!((variance(&xs).unwrap() - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_errors() {
+        assert!(mean(&[]).is_err());
+        assert!(variance(&[]).is_err());
+        assert!(min(&[]).is_err());
+        assert!(max(&[]).is_err());
+        assert!(percentile(&[], 0.5).is_err());
+    }
+
+    #[test]
+    fn min_max() {
+        let xs = [3.0, -1.0, 2.0];
+        assert_eq!(min(&xs).unwrap(), -1.0);
+        assert_eq!(max(&xs).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(percentile(&xs, 1.0).unwrap(), 4.0);
+        assert!((median(&xs).unwrap() - 2.5).abs() < 1e-12);
+        assert!(percentile(&xs, 1.5).is_err());
+    }
+
+    #[test]
+    fn running_matches_batch() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let r: Running = xs.iter().copied().collect();
+        assert_eq!(r.count(), 8);
+        assert!((r.mean() - mean(&xs).unwrap()).abs() < 1e-12);
+        assert!((r.variance() - variance(&xs).unwrap()).abs() < 1e-12);
+        assert_eq!(r.min(), 2.0);
+        assert_eq!(r.max(), 9.0);
+    }
+
+    #[test]
+    fn running_small_counts() {
+        let mut r = Running::new();
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.variance(), 0.0);
+        r.push(5.0);
+        assert_eq!(r.variance(), 0.0);
+        assert!((r.mean() - 5.0).abs() < 1e-12);
+    }
+}

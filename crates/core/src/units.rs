@@ -1,0 +1,495 @@
+//! Strongly-typed physical units used across the LORI workspace.
+//!
+//! Newtypes keep voltages, frequencies, temperatures, times and probabilities
+//! from being confused with one another (C-NEWTYPE). All wrappers are thin
+//! `f64`/`u64` tuples with public fields where the interpretation is
+//! unambiguous, and validated constructors where it is not ([`Probability`]).
+
+use crate::error::Error;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A probability, guaranteed to be finite and within `[0, 1]`.
+///
+/// ```
+/// use lori_core::units::Probability;
+/// # fn main() -> Result<(), lori_core::Error> {
+/// let p = Probability::new(0.25)?;
+/// assert_eq!(p.complement().value(), 0.75);
+/// assert!(Probability::new(1.5).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Probability(f64);
+
+impl Probability {
+    /// The impossible event.
+    pub const ZERO: Probability = Probability(0.0);
+    /// The certain event.
+    pub const ONE: Probability = Probability(1.0);
+
+    /// Creates a probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidProbability`] if `value` is NaN, infinite, or
+    /// outside `[0, 1]`.
+    pub fn new(value: f64) -> Result<Self, Error> {
+        if value.is_finite() && (0.0..=1.0).contains(&value) {
+            Ok(Probability(value))
+        } else {
+            Err(Error::InvalidProbability(value))
+        }
+    }
+
+    /// Creates a probability, clamping the input into `[0, 1]`.
+    ///
+    /// NaN is mapped to zero. Useful when numerical noise may push a computed
+    /// probability infinitesimally outside its domain.
+    #[must_use]
+    pub fn saturating(value: f64) -> Self {
+        if value.is_nan() {
+            Probability(0.0)
+        } else {
+            Probability(value.clamp(0.0, 1.0))
+        }
+    }
+
+    /// The raw value in `[0, 1]`.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// `1 - p`.
+    #[must_use]
+    pub fn complement(self) -> Self {
+        Probability(1.0 - self.0)
+    }
+
+    /// Probability that at least one of two independent events occurs.
+    #[must_use]
+    pub fn union_independent(self, other: Self) -> Self {
+        Probability::saturating(1.0 - (1.0 - self.0) * (1.0 - other.0))
+    }
+
+    /// Probability that two independent events both occur.
+    #[must_use]
+    pub fn intersect_independent(self, other: Self) -> Self {
+        Probability::saturating(self.0 * other.0)
+    }
+
+    /// `p^n` — the probability that an independent event occurs `n` times in
+    /// a row. Computed in log-space for very small bases to avoid underflow
+    /// artifacts.
+    #[must_use]
+    pub fn powi(self, n: u64) -> Self {
+        if n == 0 {
+            return Probability::ONE;
+        }
+        if self.0 == 0.0 {
+            return Probability::ZERO;
+        }
+        // ln is exact enough here and avoids repeated-multiplication drift.
+        #[allow(clippy::cast_precision_loss)]
+        let v = (self.0.ln() * n as f64).exp();
+        Probability::saturating(v)
+    }
+}
+
+impl fmt::Display for Probability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<Probability> for f64 {
+    fn from(p: Probability) -> f64 {
+        p.0
+    }
+}
+
+macro_rules! f64_unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The raw value.
+            #[must_use]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $suffix)
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|v| v.0).sum())
+            }
+        }
+    };
+}
+
+f64_unit!(
+    /// A voltage in volts.
+    Volts,
+    "V"
+);
+f64_unit!(
+    /// A frequency in megahertz.
+    MegaHertz,
+    "MHz"
+);
+f64_unit!(
+    /// A temperature in degrees Celsius.
+    Celsius,
+    "°C"
+);
+f64_unit!(
+    /// A temperature *difference* in kelvin (e.g. self-heating above ambient).
+    Kelvin,
+    "K"
+);
+f64_unit!(
+    /// A time span in seconds.
+    Seconds,
+    "s"
+);
+f64_unit!(
+    /// A time span in picoseconds (gate-delay scale).
+    Picoseconds,
+    "ps"
+);
+f64_unit!(
+    /// An energy in joules.
+    Joules,
+    "J"
+);
+f64_unit!(
+    /// A power in watts.
+    Watts,
+    "W"
+);
+f64_unit!(
+    /// A capacitance in femtofarads (standard-cell pin-load scale).
+    FemtoFarads,
+    "fF"
+);
+
+impl Seconds {
+    /// Converts hours to seconds.
+    #[must_use]
+    pub fn from_hours(hours: f64) -> Self {
+        Seconds(hours * 3600.0)
+    }
+
+    /// Converts years (365.25 days) to seconds.
+    #[must_use]
+    pub fn from_years(years: f64) -> Self {
+        Seconds(years * 365.25 * 24.0 * 3600.0)
+    }
+
+    /// This span expressed in years.
+    #[must_use]
+    pub fn as_years(self) -> f64 {
+        self.0 / (365.25 * 24.0 * 3600.0)
+    }
+}
+
+impl Celsius {
+    /// The temperature in kelvin (absolute).
+    #[must_use]
+    pub fn as_absolute_kelvin(self) -> f64 {
+        self.0 + 273.15
+    }
+}
+
+impl MegaHertz {
+    /// Clock period at this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero or negative.
+    #[must_use]
+    pub fn period(self) -> Picoseconds {
+        assert!(self.0 > 0.0, "frequency must be positive to have a period");
+        Picoseconds(1.0e6 / self.0)
+    }
+}
+
+/// A count of clock cycles.
+///
+/// ```
+/// use lori_core::units::{Cycles, MegaHertz};
+/// let c = Cycles(1_000_000);
+/// let wall = c.at(MegaHertz(1000.0));
+/// assert!((wall.value() - 1e-3).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// The raw count.
+    #[must_use]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Wall-clock duration of this many cycles at frequency `f`.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn at(self, f: MegaHertz) -> Seconds {
+        Seconds(self.0 as f64 / (f.0 * 1.0e6))
+    }
+
+    /// This count as an `f64` (for statistics).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+/// A failure rate in FIT (failures per 10⁹ device-hours).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Fit(pub f64);
+
+impl Fit {
+    /// The raw FIT value.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to failures per second.
+    #[must_use]
+    pub fn per_second(self) -> f64 {
+        self.0 / (1.0e9 * 3600.0)
+    }
+
+    /// Mean time to failure implied by this (exponential) rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonPositive`] if the rate is not strictly positive.
+    pub fn mttf(self) -> Result<Seconds, Error> {
+        if self.0 > 0.0 {
+            Ok(Seconds(1.0 / self.per_second()))
+        } else {
+            Err(Error::NonPositive {
+                what: "failure rate",
+                value: self.0,
+            })
+        }
+    }
+}
+
+impl Add for Fit {
+    type Output = Fit;
+    fn add(self, rhs: Fit) -> Fit {
+        Fit(self.0 + rhs.0)
+    }
+}
+
+impl Sum for Fit {
+    fn sum<I: Iterator<Item = Fit>>(iter: I) -> Fit {
+        Fit(iter.map(|v| v.0).sum())
+    }
+}
+
+impl fmt::Display for Fit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} FIT", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_rejects_out_of_range() {
+        assert!(Probability::new(-0.1).is_err());
+        assert!(Probability::new(1.1).is_err());
+        assert!(Probability::new(f64::NAN).is_err());
+        assert!(Probability::new(f64::INFINITY).is_err());
+        assert!(Probability::new(0.0).is_ok());
+        assert!(Probability::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn probability_saturating_clamps() {
+        assert_eq!(Probability::saturating(-1.0).value(), 0.0);
+        assert_eq!(Probability::saturating(2.0).value(), 1.0);
+        assert_eq!(Probability::saturating(f64::NAN).value(), 0.0);
+        assert_eq!(Probability::saturating(0.5).value(), 0.5);
+    }
+
+    #[test]
+    fn probability_algebra() {
+        let p = Probability::new(0.5).unwrap();
+        let q = Probability::new(0.5).unwrap();
+        assert!((p.union_independent(q).value() - 0.75).abs() < 1e-12);
+        assert!((p.intersect_independent(q).value() - 0.25).abs() < 1e-12);
+        assert_eq!(p.powi(0), Probability::ONE);
+        assert!((p.powi(2).value() - 0.25).abs() < 1e-12);
+        assert_eq!(Probability::ZERO.powi(5), Probability::ZERO);
+    }
+
+    #[test]
+    fn probability_powi_matches_direct_for_small_base() {
+        let p = Probability::new(1.0 - 1e-7).unwrap();
+        let direct = (1.0f64 - 1e-7).powi(100_000);
+        let ours = p.powi(100_000).value();
+        assert!((direct - ours).abs() < 1e-9, "{direct} vs {ours}");
+    }
+
+    #[test]
+    fn cycles_wall_clock() {
+        let c = Cycles(2_000_000);
+        let t = c.at(MegaHertz(2000.0));
+        assert!((t.value() - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn frequency_period() {
+        let f = MegaHertz(1000.0);
+        assert!((f.period().value() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn frequency_period_panics_on_zero() {
+        let _ = MegaHertz(0.0).period();
+    }
+
+    #[test]
+    fn fit_conversions() {
+        let fit = Fit(1.0e9); // one failure per hour
+        let mttf = fit.mttf().unwrap();
+        assert!((mttf.value() - 3600.0).abs() < 1e-6);
+        assert!(Fit(0.0).mttf().is_err());
+    }
+
+    #[test]
+    fn seconds_conversions() {
+        let s = Seconds::from_years(1.0);
+        assert!((s.as_years() - 1.0).abs() < 1e-12);
+        assert!((Seconds::from_hours(2.0).value() - 7200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_arithmetic() {
+        let v = Volts(1.0) + Volts(0.2);
+        assert!((v.value() - 1.2).abs() < 1e-12);
+        let t = Celsius(25.0);
+        assert!((t.as_absolute_kelvin() - 298.15).abs() < 1e-12);
+        let sum: Watts = [Watts(1.0), Watts(2.5)].into_iter().sum();
+        assert!((sum.value() - 3.5).abs() < 1e-12);
+        let c: Cycles = [Cycles(1), Cycles(2)].into_iter().sum();
+        assert_eq!(c, Cycles(3));
+    }
+
+    #[test]
+    fn display_impls_nonempty() {
+        assert!(!format!("{}", Volts(1.0)).is_empty());
+        assert!(!format!("{}", Cycles(3)).is_empty());
+        assert!(!format!("{}", Fit(10.0)).is_empty());
+        assert!(!format!("{}", Probability::ONE).is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! Error-rate-wall localisation and parameter sensitivity (the future work
+//! Sec. V-D names: "determining how system parameters affect the error rate
+//! wall").
+//!
+//! The wall is the error probability at which a mitigation algorithm's
+//! deadline hit rate crosses 50 %. [`find_wall`] localises it by bisection
+//! on log10(p); [`wall_sensitivity`] sweeps system parameters (speed
+//! headroom, checkpoint granularity) and reports how the wall moves.
+
+use crate::checkpoint::CheckpointSystem;
+use crate::error::FtError;
+use crate::mitigation::{BudgetAlgorithm, MitigationSystem};
+use crate::montecarlo::{sweep, SweepConfig};
+use lori_core::units::Cycles;
+
+/// Localises the error-rate wall for one algorithm: the `p` where the hit
+/// rate crosses `0.5`, found by bisection on `log10(p)` within
+/// `[p_lo, p_hi]`.
+///
+/// # Errors
+///
+/// Propagates sweep errors; returns [`FtError::EmptySweep`] if the hit rate
+/// does not bracket 0.5 in the interval.
+pub fn find_wall(
+    algorithm: BudgetAlgorithm,
+    trace: &[Cycles],
+    config: &SweepConfig,
+    p_lo: f64,
+    p_hi: f64,
+    iterations: usize,
+) -> Result<f64, FtError> {
+    let alg_index = BudgetAlgorithm::ALL
+        .iter()
+        .position(|&a| a == algorithm)
+        .expect("algorithm in catalog");
+    let hit_at = |p: f64| -> Result<f64, FtError> {
+        Ok(sweep(&[p], trace, config)?[0].hit_rate[alg_index])
+    };
+    let hi_rate = hit_at(p_lo)?;
+    let lo_rate = hit_at(p_hi)?;
+    if hi_rate < 0.5 || lo_rate > 0.5 {
+        return Err(FtError::EmptySweep("bracketing interval"));
+    }
+    let mut lo = p_lo.log10();
+    let mut hi = p_hi.log10();
+    for _ in 0..iterations {
+        let mid = (lo + hi) / 2.0;
+        if hit_at(10f64.powf(mid))? >= 0.5 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(10f64.powf((lo + hi) / 2.0))
+}
+
+/// One row of the sensitivity study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WallPoint {
+    /// Parameter label (e.g. "speedup=3.0").
+    pub label: String,
+    /// Wall position for each algorithm, ordered as
+    /// [`BudgetAlgorithm::ALL`].
+    pub wall_p: [f64; 4],
+}
+
+/// Sweeps speed headroom and checkpoint granularity and reports how the
+/// wall moves (experiment E13).
+///
+/// # Errors
+///
+/// Propagates [`find_wall`] errors.
+pub fn wall_sensitivity(
+    trace: &[Cycles],
+    base: &SweepConfig,
+    speedups: &[f64],
+    checkpoint_granularities: &[u32],
+) -> Result<Vec<WallPoint>, FtError> {
+    let mut rows = Vec::new();
+    for &s in speedups {
+        let config = SweepConfig {
+            mitigation: MitigationSystem {
+                max_speedup: s,
+                ..base.mitigation
+            },
+            ..base.clone()
+        };
+        rows.push(WallPoint {
+            label: format!("speedup={s}"),
+            wall_p: walls(trace, &config)?,
+        });
+    }
+    for &k in checkpoint_granularities {
+        let config = SweepConfig {
+            checkpoints: CheckpointSystem {
+                checkpoints_per_segment: k,
+                ..base.checkpoints
+            },
+            ..base.clone()
+        };
+        rows.push(WallPoint {
+            label: format!("checkpoints_per_segment={k}"),
+            wall_p: walls(trace, &config)?,
+        });
+    }
+    Ok(rows)
+}
+
+fn walls(trace: &[Cycles], config: &SweepConfig) -> Result<[f64; 4], FtError> {
+    let mut out = [0.0; 4];
+    for (i, &alg) in BudgetAlgorithm::ALL.iter().enumerate() {
+        out[i] = find_wall(alg, trace, config, 1e-9, 1e-3, 12)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::adpcm_reference_trace;
+
+    fn quick() -> SweepConfig {
+        SweepConfig {
+            runs: 20,
+            ..SweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn wall_sits_in_paper_window() {
+        let trace = adpcm_reference_trace();
+        let wall = find_wall(BudgetAlgorithm::Ds2, &trace, &quick(), 1e-9, 1e-3, 12).unwrap();
+        // Paper: the wall lives around 1e-6 to 1e-5.
+        assert!(
+            wall > 3e-7 && wall < 5e-5,
+            "wall at {wall}, expected within the paper's window"
+        );
+    }
+
+    #[test]
+    fn conservative_algorithms_push_the_wall_out() {
+        let trace = adpcm_reference_trace();
+        let cfg = quick();
+        let ds = find_wall(BudgetAlgorithm::Ds, &trace, &cfg, 1e-9, 1e-3, 10).unwrap();
+        let wcet = find_wall(BudgetAlgorithm::Wcet, &trace, &cfg, 1e-9, 1e-3, 10).unwrap();
+        assert!(
+            wcet >= ds,
+            "WCET wall {wcet} should be at or beyond DS wall {ds}"
+        );
+    }
+
+    #[test]
+    fn more_speed_headroom_moves_the_wall_forward() {
+        let trace = adpcm_reference_trace();
+        let rows =
+            wall_sensitivity(&trace, &quick(), &[1.5, 3.0], &[]).unwrap();
+        assert_eq!(rows.len(), 2);
+        // More headroom → wall at higher p for every algorithm.
+        for alg in 0..4 {
+            assert!(
+                rows[1].wall_p[alg] >= rows[0].wall_p[alg],
+                "alg {alg}: {} vs {}",
+                rows[1].wall_p[alg],
+                rows[0].wall_p[alg]
+            );
+        }
+    }
+
+    #[test]
+    fn unbracketed_interval_errors() {
+        let trace = adpcm_reference_trace();
+        // Interval entirely above the wall: hit rate < 0.5 at both ends.
+        assert!(
+            find_wall(BudgetAlgorithm::Ds, &trace, &quick(), 1e-4, 1e-3, 4).is_err()
+        );
+    }
+}

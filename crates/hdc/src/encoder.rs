@@ -1,0 +1,307 @@
+//! Encoders from raw data to hypervectors.
+//!
+//! - [`ItemMemory`]: a deterministic symbol → random-hypervector store.
+//! - [`LevelEncoder`]: continuous values onto a chain of correlated level
+//!   hypervectors (nearby values → similar vectors; far values →
+//!   quasi-orthogonal).
+//! - [`RecordEncoder`]: dense feature vectors, binding each feature's
+//!   identity vector with its level vector and bundling across features —
+//!   the standard "record" encoding used by HDC classifiers.
+
+use crate::error::HdcError;
+use crate::hypervector::{BinaryHv, BundleAccumulator};
+use lori_core::Rng;
+use std::collections::HashMap;
+
+/// A lazy store of random hypervectors, one per symbol id, generated
+/// deterministically from the memory's seed.
+#[derive(Debug, Clone)]
+pub struct ItemMemory {
+    dim: usize,
+    seed: u64,
+    cache: HashMap<u64, BinaryHv>,
+}
+
+impl ItemMemory {
+    /// Creates an item memory for `dim`-dimensional vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::ZeroDimension`] if `dim` is zero.
+    pub fn new(dim: usize, seed: u64) -> Result<Self, HdcError> {
+        if dim == 0 {
+            return Err(HdcError::ZeroDimension);
+        }
+        Ok(ItemMemory {
+            dim,
+            seed,
+            cache: HashMap::new(),
+        })
+    }
+
+    /// Dimensionality of stored vectors.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The hypervector for `symbol` (created on first use, then cached).
+    /// The same `(seed, symbol)` pair always yields the same vector.
+    pub fn get(&mut self, symbol: u64) -> &BinaryHv {
+        let dim = self.dim;
+        let seed = self.seed;
+        self.cache.entry(symbol).or_insert_with(|| {
+            let mut rng = Rng::from_seed(seed ^ symbol.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            BinaryHv::random(dim, &mut rng)
+        })
+    }
+}
+
+/// Maps a continuous range onto `levels` hypervectors where adjacent levels
+/// share most components: level 0 and level `L−1` are quasi-orthogonal, and
+/// similarity decreases linearly in level distance.
+#[derive(Debug, Clone)]
+pub struct LevelEncoder {
+    low: f64,
+    high: f64,
+    levels: Vec<BinaryHv>,
+}
+
+impl LevelEncoder {
+    /// Builds the level chain by starting from a random vector and flipping a
+    /// disjoint slice of `dim / (levels − 1)` components per step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::ZeroDimension`] for `dim == 0` or
+    /// [`HdcError::InvalidEncoder`] if `low >= high` or `levels < 2`.
+    pub fn new(
+        dim: usize,
+        low: f64,
+        high: f64,
+        levels: usize,
+        rng: &mut Rng,
+    ) -> Result<Self, HdcError> {
+        if dim == 0 {
+            return Err(HdcError::ZeroDimension);
+        }
+        if !(low < high) {
+            return Err(HdcError::InvalidEncoder("low must be below high"));
+        }
+        if levels < 2 {
+            return Err(HdcError::InvalidEncoder("at least two levels required"));
+        }
+        let base = BinaryHv::random(dim, rng);
+        // Random permutation of component indices; flip the next slice at
+        // each level so flips never overlap (similarity falls linearly).
+        // A total of dim/2 components flip across the whole chain, so the
+        // extreme levels end up quasi-orthogonal (similarity ≈ 0.5), as in
+        // the standard HDC level-encoding construction.
+        let mut order: Vec<usize> = (0..dim).collect();
+        rng.shuffle(&mut order);
+        let half = dim / 2;
+        let per_level = half / (levels - 1);
+        let mut chain = Vec::with_capacity(levels);
+        let mut current = base;
+        chain.push(current.clone());
+        for l in 1..levels {
+            let start = (l - 1) * per_level;
+            let end = if l == levels - 1 { half } else { l * per_level };
+            for &i in &order[start..end] {
+                let b = current.bit(i);
+                current.set_bit(i, !b);
+            }
+            chain.push(current.clone());
+        }
+        Ok(LevelEncoder {
+            low,
+            high,
+            levels: chain,
+        })
+    }
+
+    /// Number of levels.
+    #[must_use]
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The level index for a value (clamped to the encoder's range).
+    #[must_use]
+    pub fn level_of(&self, value: f64) -> usize {
+        let t = ((value - self.low) / (self.high - self.low)).clamp(0.0, 1.0);
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        {
+            ((t * (self.levels.len() - 1) as f64).round() as usize).min(self.levels.len() - 1)
+        }
+    }
+
+    /// Encodes a value as its level hypervector.
+    #[must_use]
+    pub fn encode(&self, value: f64) -> &BinaryHv {
+        &self.levels[self.level_of(value)]
+    }
+
+    /// All level vectors, in order.
+    #[must_use]
+    pub fn levels(&self) -> &[BinaryHv] {
+        &self.levels
+    }
+}
+
+/// Encodes dense feature rows: `H(x) = majority_j( id_j ⊕ level_j(x_j) )`.
+#[derive(Debug, Clone)]
+pub struct RecordEncoder {
+    ids: Vec<BinaryHv>,
+    levels: Vec<LevelEncoder>,
+    tie_break: BinaryHv,
+}
+
+impl RecordEncoder {
+    /// Builds an encoder for `ranges.len()` features; each feature gets an
+    /// identity vector and a level encoder over its `(low, high)` range.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HdcError`] from the underlying encoders; fails with
+    /// [`HdcError::InvalidEncoder`] for an empty range list.
+    pub fn new(
+        dim: usize,
+        ranges: &[(f64, f64)],
+        levels: usize,
+        seed: u64,
+    ) -> Result<Self, HdcError> {
+        if ranges.is_empty() {
+            return Err(HdcError::InvalidEncoder("at least one feature required"));
+        }
+        let mut rng = Rng::from_seed(seed);
+        let ids = (0..ranges.len())
+            .map(|_| BinaryHv::random(dim, &mut rng))
+            .collect();
+        let levels = ranges
+            .iter()
+            .map(|&(lo, hi)| LevelEncoder::new(dim, lo, hi, levels, &mut rng))
+            .collect::<Result<Vec<_>, _>>()?;
+        let tie_break = BinaryHv::random(dim, &mut rng);
+        Ok(RecordEncoder {
+            ids,
+            levels,
+            tie_break,
+        })
+    }
+
+    /// Number of features the encoder expects.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Dimensionality of produced hypervectors.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.tie_break.dim()
+    }
+
+    /// Encodes one feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from [`RecordEncoder::n_features`].
+    #[must_use]
+    pub fn encode(&self, x: &[f64]) -> BinaryHv {
+        assert_eq!(x.len(), self.ids.len(), "feature count mismatch");
+        let mut acc = BundleAccumulator::new(self.dim());
+        for ((id, lvl), &v) in self.ids.iter().zip(&self.levels).zip(x) {
+            acc.add(&id.bind(lvl.encode(v)));
+        }
+        acc.majority(&self.tie_break)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DIM: usize = 2048;
+
+    #[test]
+    fn item_memory_deterministic() {
+        let mut a = ItemMemory::new(DIM, 42).unwrap();
+        let mut b = ItemMemory::new(DIM, 42).unwrap();
+        assert_eq!(a.get(7).clone(), b.get(7).clone());
+        let v7 = a.get(7).clone();
+        let v8 = a.get(8).clone();
+        assert!((v7.similarity(&v8) - 0.5).abs() < 0.05);
+        // Cached: same reference content on second call.
+        assert_eq!(a.get(7).clone(), v7);
+    }
+
+    #[test]
+    fn item_memory_zero_dim_rejected() {
+        assert_eq!(ItemMemory::new(0, 1).unwrap_err(), HdcError::ZeroDimension);
+    }
+
+    #[test]
+    fn level_similarity_decreases_with_distance() {
+        let mut rng = Rng::from_seed(1);
+        let enc = LevelEncoder::new(DIM, 0.0, 1.0, 16, &mut rng).unwrap();
+        let l0 = enc.encode(0.0);
+        let mut prev = 1.0;
+        for i in 1..16 {
+            #[allow(clippy::cast_precision_loss)]
+            let v = i as f64 / 15.0;
+            let s = l0.similarity(enc.encode(v));
+            assert!(s < prev + 1e-9, "level {i}: {s} !< {prev}");
+            prev = s;
+        }
+        // Extremes are quasi-orthogonal.
+        let s_ends = l0.similarity(enc.encode(1.0));
+        assert!((s_ends - 0.5).abs() < 0.05, "ends similarity {s_ends}");
+    }
+
+    #[test]
+    fn level_encoder_clamps() {
+        let mut rng = Rng::from_seed(2);
+        let enc = LevelEncoder::new(DIM, 0.0, 1.0, 8, &mut rng).unwrap();
+        assert_eq!(enc.level_of(-5.0), 0);
+        assert_eq!(enc.level_of(10.0), 7);
+        assert_eq!(enc.level_count(), 8);
+    }
+
+    #[test]
+    fn level_encoder_validation() {
+        let mut rng = Rng::from_seed(3);
+        assert!(LevelEncoder::new(0, 0.0, 1.0, 4, &mut rng).is_err());
+        assert!(LevelEncoder::new(DIM, 1.0, 1.0, 4, &mut rng).is_err());
+        assert!(LevelEncoder::new(DIM, 0.0, 1.0, 1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn record_encoder_similar_inputs_similar_codes() {
+        let enc = RecordEncoder::new(DIM, &[(0.0, 1.0), (0.0, 1.0)], 16, 4).unwrap();
+        let a = enc.encode(&[0.2, 0.8]);
+        let near = enc.encode(&[0.22, 0.81]);
+        let far = enc.encode(&[0.9, 0.1]);
+        assert!(a.similarity(&near) > a.similarity(&far));
+    }
+
+    #[test]
+    fn record_encoder_deterministic() {
+        let e1 = RecordEncoder::new(DIM, &[(0.0, 1.0)], 8, 9).unwrap();
+        let e2 = RecordEncoder::new(DIM, &[(0.0, 1.0)], 8, 9).unwrap();
+        assert_eq!(e1.encode(&[0.5]), e2.encode(&[0.5]));
+    }
+
+    #[test]
+    fn record_encoder_validation() {
+        assert!(RecordEncoder::new(DIM, &[], 8, 0).is_err());
+        assert!(RecordEncoder::new(DIM, &[(1.0, 0.0)], 8, 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count mismatch")]
+    fn record_encoder_wrong_arity_panics() {
+        let enc = RecordEncoder::new(DIM, &[(0.0, 1.0)], 8, 0).unwrap();
+        let _ = enc.encode(&[0.5, 0.5]);
+    }
+}

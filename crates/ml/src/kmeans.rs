@@ -1,0 +1,239 @@
+//! k-means clustering (Lloyd's algorithm with k-means++ seeding).
+//!
+//! Unsupervised pattern finding over fault-injection trial data is surveyed
+//! in Sec. III-B.2 (ref \[23\] applies unsupervised learning to 1.2 M trials).
+
+use crate::data::{squared_distance, Dataset};
+use crate::error::MlError;
+use lori_core::Rng;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans {
+    centroids: Vec<Vec<f64>>,
+    /// Cluster assignment per training sample.
+    assignments: Vec<usize>,
+    /// Sum of squared distances to assigned centroids (inertia).
+    inertia: f64,
+    iterations: usize,
+}
+
+impl KMeans {
+    /// Runs Lloyd's algorithm with k-means++ initialization until
+    /// assignments stabilize or `max_iters` is reached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidHyperparameter`] if `k` is zero or exceeds
+    /// the number of samples.
+    pub fn fit(ds: &Dataset, k: usize, max_iters: usize, rng: &mut Rng) -> Result<Self, MlError> {
+        if k == 0 || k > ds.len() {
+            return Err(MlError::InvalidHyperparameter("k"));
+        }
+        let mut centroids = plus_plus_init(ds, k, rng);
+        let mut assignments = vec![0usize; ds.len()];
+        let mut iterations = 0;
+        for it in 0..max_iters.max(1) {
+            iterations = it + 1;
+            // Assign.
+            let mut changed = false;
+            for (i, row) in ds.features().iter().enumerate() {
+                let best = nearest(&centroids, row);
+                if assignments[i] != best {
+                    assignments[i] = best;
+                    changed = true;
+                }
+            }
+            // Update.
+            let d = ds.n_features();
+            let mut sums = vec![vec![0.0f64; d]; k];
+            let mut counts = vec![0usize; k];
+            for (row, &a) in ds.features().iter().zip(&assignments) {
+                counts[a] += 1;
+                for (s, &x) in sums[a].iter_mut().zip(row) {
+                    *s += x;
+                }
+            }
+            for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+                if count > 0 {
+                    #[allow(clippy::cast_precision_loss)]
+                    let n = count as f64;
+                    for (ci, &s) in c.iter_mut().zip(sum) {
+                        *ci = s / n;
+                    }
+                }
+                // Empty clusters keep their previous centroid.
+            }
+            if !changed && it > 0 {
+                break;
+            }
+        }
+        let inertia = ds
+            .features()
+            .iter()
+            .zip(&assignments)
+            .map(|(row, &a)| squared_distance(row, &centroids[a]))
+            .sum();
+        Ok(KMeans {
+            centroids,
+            assignments,
+            inertia,
+            iterations,
+        })
+    }
+
+    /// The fitted centroids.
+    #[must_use]
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Cluster assignment per training sample.
+    #[must_use]
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Sum of squared distances to assigned centroids.
+    #[must_use]
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Iterations run before convergence (or the cap).
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Assigns a new sample to its nearest centroid.
+    #[must_use]
+    pub fn predict(&self, x: &[f64]) -> usize {
+        nearest(&self.centroids, x)
+    }
+}
+
+fn nearest(centroids: &[Vec<f64>], x: &[f64]) -> usize {
+    centroids
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            squared_distance(a, x)
+                .partial_cmp(&squared_distance(b, x))
+                .expect("NaN distance")
+        })
+        .map_or(0, |(i, _)| i)
+}
+
+fn plus_plus_init(ds: &Dataset, k: usize, rng: &mut Rng) -> Vec<Vec<f64>> {
+    #[allow(clippy::cast_possible_truncation)]
+    let first = rng.below(ds.len() as u64) as usize;
+    let mut centroids = vec![ds.features()[first].clone()];
+    while centroids.len() < k {
+        let d2: Vec<f64> = ds
+            .features()
+            .iter()
+            .map(|row| {
+                centroids
+                    .iter()
+                    .map(|c| squared_distance(c, row))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                rng.below(ds.len() as u64) as usize
+            }
+        } else {
+            let mut target = rng.uniform() * total;
+            let mut chosen = ds.len() - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    chosen = i;
+                    break;
+                }
+                target -= w;
+            }
+            chosen
+        };
+        centroids.push(ds.features()[next].clone());
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs(seed: u64) -> Dataset {
+        let mut rng = Rng::from_seed(seed);
+        let centers = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)];
+        let mut rows = Vec::new();
+        for _ in 0..300 {
+            let (cx, cy) = centers[rng.below(3) as usize];
+            rows.push(vec![
+                rng.normal_with(cx, 0.5),
+                rng.normal_with(cy, 0.5),
+            ]);
+        }
+        let n = rows.len();
+        Dataset::from_rows(rows, vec![0.0; n]).unwrap()
+    }
+
+    #[test]
+    fn recovers_blob_centers() {
+        let ds = three_blobs(1);
+        let mut rng = Rng::from_seed(2);
+        let km = KMeans::fit(&ds, 3, 100, &mut rng).unwrap();
+        // Each true center should be near some centroid.
+        for (cx, cy) in [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)] {
+            let close = km
+                .centroids()
+                .iter()
+                .any(|c| squared_distance(c, &[cx, cy]) < 1.0);
+            assert!(close, "no centroid near ({cx}, {cy}): {:?}", km.centroids());
+        }
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let ds = three_blobs(3);
+        let mut r1 = Rng::from_seed(4);
+        let mut r2 = Rng::from_seed(4);
+        let k1 = KMeans::fit(&ds, 1, 50, &mut r1).unwrap();
+        let k3 = KMeans::fit(&ds, 3, 50, &mut r2).unwrap();
+        assert!(k3.inertia() < k1.inertia());
+    }
+
+    #[test]
+    fn k_validation() {
+        let ds = three_blobs(5);
+        let mut rng = Rng::from_seed(6);
+        assert!(KMeans::fit(&ds, 0, 10, &mut rng).is_err());
+        assert!(KMeans::fit(&ds, ds.len() + 1, 10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn predict_matches_assignment_structure() {
+        let ds = three_blobs(7);
+        let mut rng = Rng::from_seed(8);
+        let km = KMeans::fit(&ds, 3, 100, &mut rng).unwrap();
+        for (row, &a) in ds.features().iter().zip(km.assignments()) {
+            assert_eq!(km.predict(row), a);
+        }
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let ds = Dataset::from_rows(
+            vec![vec![0.0], vec![5.0], vec![10.0]],
+            vec![0.0; 3],
+        )
+        .unwrap();
+        let mut rng = Rng::from_seed(9);
+        let km = KMeans::fit(&ds, 3, 100, &mut rng).unwrap();
+        assert!(km.inertia() < 1e-12);
+    }
+}

@@ -1,0 +1,218 @@
+//! Ordinary least squares / ridge linear regression via the normal equations.
+//!
+//! Linear regression is listed by the paper (Sec. IV) as one of the two most
+//! common supervised methods for reliability improvement — e.g. predicting
+//! segment execution times for cycle-noise budget scheduling.
+
+use crate::data::Dataset;
+use crate::error::MlError;
+use crate::traits::Regressor;
+
+/// A fitted linear model `y = w·x + b`.
+///
+/// ```
+/// use lori_ml::data::Dataset;
+/// use lori_ml::linreg::LinearRegression;
+/// use lori_ml::traits::Regressor;
+/// # fn main() -> Result<(), lori_ml::MlError> {
+/// let ds = Dataset::from_rows(
+///     vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]],
+///     vec![1.0, 3.0, 5.0, 7.0], // y = 2x + 1
+/// )?;
+/// let model = LinearRegression::fit(&ds, 0.0)?;
+/// assert!((model.predict(&[10.0]) - 21.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegression {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LinearRegression {
+    /// Fits by solving the (optionally ridge-regularized) normal equations
+    /// `(XᵀX + λI) w = Xᵀy` with partial-pivot Gaussian elimination.
+    /// The bias column is never regularized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidHyperparameter`] for negative `ridge`,
+    /// or [`MlError::Numerical`] if the system is singular (use a positive
+    /// `ridge` to guarantee solvability).
+    pub fn fit(ds: &Dataset, ridge: f64) -> Result<Self, MlError> {
+        if !(ridge >= 0.0 && ridge.is_finite()) {
+            return Err(MlError::InvalidHyperparameter("ridge"));
+        }
+        let d = ds.n_features();
+        let dim = d + 1; // + bias
+        // Build A = XᵀX + λI and b = Xᵀy with the bias as an extra all-ones column.
+        let mut a = vec![vec![0.0f64; dim]; dim];
+        let mut b = vec![0.0f64; dim];
+        for (row, &y) in ds.features().iter().zip(ds.targets()) {
+            for i in 0..dim {
+                let xi = if i < d { row[i] } else { 1.0 };
+                b[i] += xi * y;
+                for j in i..dim {
+                    let xj = if j < d { row[j] } else { 1.0 };
+                    a[i][j] += xi * xj;
+                }
+            }
+        }
+        for i in 0..dim {
+            for j in 0..i {
+                a[i][j] = a[j][i];
+            }
+        }
+        for (i, row) in a.iter_mut().enumerate().take(d) {
+            row[i] += ridge;
+        }
+        let w = solve(a, b)?;
+        let (weights, bias_slice) = w.split_at(d);
+        Ok(LinearRegression {
+            weights: weights.to_vec(),
+            bias: bias_slice[0],
+        })
+    }
+
+    /// The learned feature weights.
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The learned intercept.
+    #[must_use]
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "feature count mismatch");
+        self.bias + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>()
+    }
+}
+
+/// Solves `A w = b` by Gaussian elimination with partial pivoting.
+pub(crate) fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, MlError> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("NaN in linear system")
+            })
+            .expect("non-empty range");
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(MlError::Numerical("singular normal equations"));
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut w = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for col in row + 1..n {
+            acc -= a[row][col] * w[col];
+        }
+        w[row] = acc / a[row][row];
+    }
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lori_core::Rng;
+
+    #[test]
+    fn recovers_exact_line() {
+        let ds = Dataset::from_rows(
+            vec![vec![0.0], vec![1.0], vec![2.0]],
+            vec![1.0, 3.0, 5.0],
+        )
+        .unwrap();
+        let m = LinearRegression::fit(&ds, 0.0).unwrap();
+        assert!((m.weights()[0] - 2.0).abs() < 1e-9);
+        assert!((m.bias() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovers_multivariate_plane() {
+        let mut rng = Rng::from_seed(10);
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![rng.uniform_in(-5.0, 5.0), rng.uniform_in(-5.0, 5.0), rng.uniform_in(-5.0, 5.0)])
+            .collect();
+        let ys: Vec<f64> = rows
+            .iter()
+            .map(|r| 3.0 * r[0] - 2.0 * r[1] + 0.5 * r[2] + 7.0)
+            .collect();
+        let ds = Dataset::from_rows(rows, ys).unwrap();
+        let m = LinearRegression::fit(&ds, 0.0).unwrap();
+        assert!((m.weights()[0] - 3.0).abs() < 1e-8);
+        assert!((m.weights()[1] + 2.0).abs() < 1e-8);
+        assert!((m.weights()[2] - 0.5).abs() < 1e-8);
+        assert!((m.bias() - 7.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn robust_to_noise() {
+        let mut rng = Rng::from_seed(11);
+        let rows: Vec<Vec<f64>> = (0..2000).map(|_| vec![rng.uniform_in(0.0, 10.0)]).collect();
+        let ys: Vec<f64> = rows
+            .iter()
+            .map(|r| 2.0 * r[0] + 1.0 + rng.normal_with(0.0, 0.5))
+            .collect();
+        let ds = Dataset::from_rows(rows, ys).unwrap();
+        let m = LinearRegression::fit(&ds, 0.0).unwrap();
+        assert!((m.weights()[0] - 2.0).abs() < 0.05);
+        assert!((m.bias() - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn ridge_handles_duplicate_features() {
+        // Two identical columns make XᵀX singular; ridge fixes it.
+        let rows = vec![
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0],
+            vec![4.0, 4.0],
+        ];
+        let ys = vec![2.0, 4.0, 6.0, 8.0];
+        let ds = Dataset::from_rows(rows, ys).unwrap();
+        assert!(LinearRegression::fit(&ds, 0.0).is_err());
+        let m = LinearRegression::fit(&ds, 1e-6).unwrap();
+        assert!((m.predict(&[5.0, 5.0]) - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn negative_ridge_rejected() {
+        let ds = Dataset::from_rows(vec![vec![1.0]], vec![1.0]).unwrap();
+        assert!(LinearRegression::fit(&ds, -1.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count mismatch")]
+    fn predict_wrong_dims_panics() {
+        let ds = Dataset::from_rows(vec![vec![1.0], vec![2.0]], vec![1.0, 2.0]).unwrap();
+        let m = LinearRegression::fit(&ds, 0.0).unwrap();
+        let _ = m.predict(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Binary logistic regression trained by full-batch gradient descent.
+
+use crate::data::Dataset;
+use crate::error::MlError;
+use crate::traits::{Classifier, ProbabilisticClassifier};
+
+/// Configuration for logistic-regression training.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticConfig {
+    /// Gradient-descent step size.
+    pub learning_rate: f64,
+    /// Number of full-batch epochs.
+    pub epochs: usize,
+    /// L2 regularization strength.
+    pub l2: f64,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        LogisticConfig {
+            learning_rate: 0.1,
+            epochs: 500,
+            l2: 1e-4,
+        }
+    }
+}
+
+/// A fitted binary logistic-regression model.
+///
+/// Targets must be class indices 0/1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LogisticRegression {
+    /// Fits a binary logistic model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::SingleClass`] if only one class is present,
+    /// or [`MlError::InvalidHyperparameter`] for invalid config values.
+    pub fn fit(ds: &Dataset, config: &LogisticConfig) -> Result<Self, MlError> {
+        if !(config.learning_rate > 0.0) || config.epochs == 0 || config.l2 < 0.0 {
+            return Err(MlError::InvalidHyperparameter("logistic config"));
+        }
+        let ys = ds.class_targets();
+        if !ys.iter().any(|&y| y == 0) || !ys.iter().any(|&y| y == 1) {
+            return Err(MlError::SingleClass);
+        }
+        let d = ds.n_features();
+        #[allow(clippy::cast_precision_loss)]
+        let n = ds.len() as f64;
+        let mut w = vec![0.0f64; d];
+        let mut b = 0.0f64;
+        for _ in 0..config.epochs {
+            let mut gw = vec![0.0f64; d];
+            let mut gb = 0.0f64;
+            for (row, &y) in ds.features().iter().zip(&ys) {
+                let z = b + w.iter().zip(row).map(|(wi, xi)| wi * xi).sum::<f64>();
+                #[allow(clippy::cast_precision_loss)]
+                let err = sigmoid(z) - y as f64;
+                for (g, &x) in gw.iter_mut().zip(row) {
+                    *g += err * x;
+                }
+                gb += err;
+            }
+            for (wi, g) in w.iter_mut().zip(&gw) {
+                *wi -= config.learning_rate * (g / n + config.l2 * *wi);
+            }
+            b -= config.learning_rate * gb / n;
+        }
+        Ok(LogisticRegression { weights: w, bias: b })
+    }
+
+    /// Probability of class 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong number of features.
+    #[must_use]
+    pub fn probability(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "feature count mismatch");
+        sigmoid(
+            self.bias
+                + self
+                    .weights
+                    .iter()
+                    .zip(x)
+                    .map(|(w, v)| w * v)
+                    .sum::<f64>(),
+        )
+    }
+
+    /// The learned feature weights.
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn predict(&self, x: &[f64]) -> usize {
+        usize::from(self.probability(x) >= 0.5)
+    }
+}
+
+impl ProbabilisticClassifier for LogisticRegression {
+    fn scores(&self, x: &[f64]) -> Vec<f64> {
+        let p = self.probability(x);
+        vec![1.0 - p, p]
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use lori_core::Rng;
+
+    fn separable(n: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::from_seed(seed);
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let cls = rng.bernoulli(0.5);
+            let center = if cls { 2.0 } else { -2.0 };
+            rows.push(vec![
+                rng.normal_with(center, 0.5),
+                rng.normal_with(-center, 0.5),
+            ]);
+            ys.push(f64::from(u8::from(cls)));
+        }
+        Dataset::from_rows(rows, ys).unwrap()
+    }
+
+    #[test]
+    fn separates_gaussian_blobs() {
+        let ds = separable(400, 1);
+        let m = LogisticRegression::fit(&ds, &LogisticConfig::default()).unwrap();
+        let preds = m.predict_batch(ds.features());
+        let acc = accuracy(&ds.class_targets(), &preds).unwrap();
+        assert!(acc > 0.98, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_are_calibrated_direction() {
+        let ds = separable(400, 2);
+        let m = LogisticRegression::fit(&ds, &LogisticConfig::default()).unwrap();
+        // Deep in class-1 territory vs deep in class-0 territory.
+        assert!(m.probability(&[3.0, -3.0]) > 0.9);
+        assert!(m.probability(&[-3.0, 3.0]) < 0.1);
+    }
+
+    #[test]
+    fn scores_sum_to_one() {
+        let ds = separable(100, 3);
+        let m = LogisticRegression::fit(&ds, &LogisticConfig::default()).unwrap();
+        let s = m.scores(&[0.3, 0.7]);
+        assert_eq!(s.len(), 2);
+        assert!((s[0] + s[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_rejected() {
+        let ds = Dataset::from_rows(vec![vec![1.0], vec![2.0]], vec![1.0, 1.0]).unwrap();
+        assert_eq!(
+            LogisticRegression::fit(&ds, &LogisticConfig::default()),
+            Err(MlError::SingleClass)
+        );
+    }
+
+    #[test]
+    fn bad_config_rejected() {
+        let ds = Dataset::from_rows(vec![vec![1.0], vec![2.0]], vec![0.0, 1.0]).unwrap();
+        let bad = LogisticConfig {
+            learning_rate: 0.0,
+            ..LogisticConfig::default()
+        };
+        assert!(LogisticRegression::fit(&ds, &bad).is_err());
+    }
+
+    #[test]
+    fn sigmoid_stability() {
+        assert!((sigmoid(1000.0) - 1.0).abs() < 1e-12);
+        assert!(sigmoid(-1000.0).abs() < 1e-12);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+}

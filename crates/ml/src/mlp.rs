@@ -1,0 +1,529 @@
+//! A multi-layer perceptron with configurable hidden layers, trained by
+//! mini-batch SGD with momentum.
+//!
+//! Small MLPs recur throughout the paper: SER estimation (Sec. IV-A.1),
+//! cross-layer SER models (ref \[1\]), vulnerability estimation for MWTF
+//! mapping (ref \[2\]), anomaly detection on intermediate DNN outputs
+//! (ref \[30\]), and WarningNet-style input-perturbation warning (ref \[32\]).
+
+use crate::data::Dataset;
+use crate::error::MlError;
+use crate::traits::{Classifier, ProbabilisticClassifier, Regressor};
+use crate::tree::argmax;
+use lori_core::Rng;
+
+/// Activation function for hidden layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Activation {
+    /// Rectified linear unit.
+    #[default]
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    fn apply(self, z: f64) -> f64 {
+        match self {
+            Activation::Relu => z.max(0.0),
+            Activation::Tanh => z.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-z).exp()),
+        }
+    }
+
+    /// Derivative expressed in terms of the *activation output* `a`.
+    fn derivative_from_output(self, a: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if a > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - a * a,
+            Activation::Sigmoid => a * (1.0 - a),
+        }
+    }
+}
+
+/// Output head: determines the loss and final-layer nonlinearity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Head {
+    /// Linear output + squared loss (regression). Output width 1.
+    Regression,
+    /// Softmax output + cross-entropy (classification). Output width =
+    /// number of classes.
+    Classification {
+        /// Number of classes.
+        n_classes: usize,
+    },
+}
+
+/// Training configuration for [`Mlp`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpConfig {
+    /// Hidden-layer widths, e.g. `vec![16, 16]` for two hidden layers.
+    pub hidden: Vec<usize>,
+    /// Hidden activation.
+    pub activation: Activation,
+    /// Output head.
+    pub head: Head,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Momentum coefficient in `[0, 1)`.
+    pub momentum: f64,
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// RNG seed for init and shuffling.
+    pub seed: u64,
+}
+
+impl MlpConfig {
+    /// A sensible default for small tabular classification problems.
+    #[must_use]
+    pub fn classifier(n_classes: usize) -> Self {
+        MlpConfig {
+            hidden: vec![16, 16],
+            activation: Activation::Relu,
+            head: Head::Classification { n_classes },
+            learning_rate: 0.05,
+            momentum: 0.9,
+            epochs: 200,
+            batch_size: 32,
+            seed: 0,
+        }
+    }
+
+    /// A sensible default for small tabular regression problems.
+    #[must_use]
+    pub fn regressor() -> Self {
+        MlpConfig {
+            hidden: vec![32, 32],
+            activation: Activation::Tanh,
+            head: Head::Regression,
+            learning_rate: 0.01,
+            momentum: 0.9,
+            epochs: 300,
+            batch_size: 32,
+            seed: 0,
+        }
+    }
+}
+
+/// One dense layer: `weights[out][in]` and a bias per output.
+#[derive(Debug, Clone, PartialEq)]
+struct Layer {
+    weights: Vec<Vec<f64>>,
+    biases: Vec<f64>,
+    // Momentum buffers.
+    vw: Vec<Vec<f64>>,
+    vb: Vec<f64>,
+}
+
+impl Layer {
+    fn new(n_in: usize, n_out: usize, rng: &mut Rng) -> Layer {
+        // He-style initialization keeps gradients healthy for ReLU; fine for
+        // tanh/sigmoid at these scales too.
+        #[allow(clippy::cast_precision_loss)]
+        let scale = (2.0 / n_in as f64).sqrt();
+        let weights = (0..n_out)
+            .map(|_| (0..n_in).map(|_| rng.normal() * scale).collect())
+            .collect();
+        Layer {
+            weights,
+            biases: vec![0.0; n_out],
+            vw: vec![vec![0.0; n_in]; n_out],
+            vb: vec![0.0; n_out],
+        }
+    }
+
+    fn forward(&self, input: &[f64]) -> Vec<f64> {
+        self.weights
+            .iter()
+            .zip(&self.biases)
+            .map(|(row, b)| b + row.iter().zip(input).map(|(w, x)| w * x).sum::<f64>())
+            .collect()
+    }
+}
+
+/// A trained multi-layer perceptron.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+    activation: Activation,
+    head: Head,
+    n_features: usize,
+    /// Mean training loss per epoch, recorded during fitting.
+    loss_history: Vec<f64>,
+}
+
+impl Mlp {
+    /// Trains an MLP on the dataset.
+    ///
+    /// For a classification head, targets are class indices; for regression,
+    /// raw values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidHyperparameter`] for invalid config, or
+    /// [`MlError::SingleClass`] when a classification head sees classes
+    /// outside `0..n_classes`.
+    pub fn fit(ds: &Dataset, config: &MlpConfig) -> Result<Self, MlError> {
+        if !(config.learning_rate > 0.0)
+            || !(0.0..1.0).contains(&config.momentum)
+            || config.epochs == 0
+            || config.batch_size == 0
+            || config.hidden.iter().any(|&h| h == 0)
+        {
+            return Err(MlError::InvalidHyperparameter("mlp config"));
+        }
+        let out_dim = match config.head {
+            Head::Regression => 1,
+            Head::Classification { n_classes } => {
+                if n_classes < 2 {
+                    return Err(MlError::InvalidHyperparameter("n_classes"));
+                }
+                if ds.class_targets().iter().any(|&c| c >= n_classes) {
+                    return Err(MlError::SingleClass);
+                }
+                n_classes
+            }
+        };
+
+        let mut rng = Rng::from_seed(config.seed);
+        let mut sizes = vec![ds.n_features()];
+        sizes.extend(&config.hidden);
+        sizes.push(out_dim);
+        let mut layers: Vec<Layer> = sizes
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng))
+            .collect();
+
+        let class_targets = ds.class_targets();
+        let mut order: Vec<usize> = (0..ds.len()).collect();
+        let mut loss_history = Vec::with_capacity(config.epochs);
+
+        for _ in 0..config.epochs {
+            rng.shuffle(&mut order);
+            let mut epoch_loss = 0.0;
+            for chunk in order.chunks(config.batch_size) {
+                // Accumulate gradients over the mini-batch.
+                let mut gw: Vec<Vec<Vec<f64>>> = layers
+                    .iter()
+                    .map(|l| vec![vec![0.0; l.weights[0].len()]; l.weights.len()])
+                    .collect();
+                let mut gb: Vec<Vec<f64>> =
+                    layers.iter().map(|l| vec![0.0; l.biases.len()]).collect();
+
+                for &i in chunk {
+                    let (x, y) = ds.sample(i);
+                    // Forward pass, keeping activations.
+                    let mut acts: Vec<Vec<f64>> = vec![x.to_vec()];
+                    for (li, layer) in layers.iter().enumerate() {
+                        let mut z = layer.forward(acts.last().expect("nonempty"));
+                        let is_last = li == layers.len() - 1;
+                        if is_last {
+                            if let Head::Classification { .. } = config.head {
+                                softmax_in_place(&mut z);
+                            }
+                        } else {
+                            for v in &mut z {
+                                *v = config.activation.apply(*v);
+                            }
+                        }
+                        acts.push(z);
+                    }
+                    let out = acts.last().expect("nonempty");
+                    // Output delta (dL/dz for the last pre-activation).
+                    let mut delta: Vec<f64> = match config.head {
+                        Head::Regression => {
+                            let e = out[0] - y;
+                            epoch_loss += e * e;
+                            vec![e]
+                        }
+                        Head::Classification { .. } => {
+                            let c = class_targets[i];
+                            epoch_loss += -(out[c].max(1e-12)).ln();
+                            out.iter()
+                                .enumerate()
+                                .map(|(k, &p)| p - f64::from(u8::from(k == c)))
+                                .collect()
+                        }
+                    };
+                    // Backward pass.
+                    for li in (0..layers.len()).rev() {
+                        let input = &acts[li];
+                        for (o, &d) in delta.iter().enumerate() {
+                            gb[li][o] += d;
+                            for (gwi, &xi) in gw[li][o].iter_mut().zip(input) {
+                                *gwi += d * xi;
+                            }
+                        }
+                        if li > 0 {
+                            let mut prev = vec![0.0; input.len()];
+                            for (o, &d) in delta.iter().enumerate() {
+                                for (p, &w) in prev.iter_mut().zip(&layers[li].weights[o]) {
+                                    *p += d * w;
+                                }
+                            }
+                            for (p, &a) in prev.iter_mut().zip(&acts[li]) {
+                                *p *= config.activation.derivative_from_output(a);
+                            }
+                            delta = prev;
+                        }
+                    }
+                }
+
+                // SGD-with-momentum update.
+                #[allow(clippy::cast_precision_loss)]
+                let scale = config.learning_rate / chunk.len() as f64;
+                for (layer, (gwl, gbl)) in layers.iter_mut().zip(gw.iter().zip(&gb)) {
+                    for ((wrow, vrow), grow) in layer
+                        .weights
+                        .iter_mut()
+                        .zip(layer.vw.iter_mut())
+                        .zip(gwl)
+                    {
+                        for ((w, v), &g) in wrow.iter_mut().zip(vrow.iter_mut()).zip(grow) {
+                            *v = config.momentum * *v - scale * g;
+                            *w += *v;
+                        }
+                    }
+                    for ((b, v), &g) in layer
+                        .biases
+                        .iter_mut()
+                        .zip(layer.vb.iter_mut())
+                        .zip(gbl)
+                    {
+                        *v = config.momentum * *v - scale * g;
+                        *b += *v;
+                    }
+                }
+            }
+            #[allow(clippy::cast_precision_loss)]
+            loss_history.push(epoch_loss / ds.len() as f64);
+        }
+
+        Ok(Mlp {
+            layers,
+            activation: config.activation,
+            head: config.head,
+            n_features: ds.n_features(),
+            loss_history,
+        })
+    }
+
+    /// Raw network output (post-softmax for classification heads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong number of features.
+    #[must_use]
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_features, "feature count mismatch");
+        let mut a = x.to_vec();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mut z = layer.forward(&a);
+            if li == self.layers.len() - 1 {
+                if let Head::Classification { .. } = self.head {
+                    softmax_in_place(&mut z);
+                }
+            } else {
+                for v in &mut z {
+                    *v = self.activation.apply(*v);
+                }
+            }
+            a = z;
+        }
+        a
+    }
+
+    /// Mean training loss per epoch (useful for convergence tests).
+    #[must_use]
+    pub fn loss_history(&self) -> &[f64] {
+        &self.loss_history
+    }
+
+    /// Number of trainable parameters.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.weights.iter().map(Vec::len).sum::<usize>() + l.biases.len())
+            .sum()
+    }
+}
+
+impl Classifier for Mlp {
+    /// # Panics
+    ///
+    /// Panics if called on a regression-head network.
+    fn predict(&self, x: &[f64]) -> usize {
+        assert!(
+            matches!(self.head, Head::Classification { .. }),
+            "predict() requires a classification head"
+        );
+        argmax(&self.forward(x))
+    }
+}
+
+impl ProbabilisticClassifier for Mlp {
+    fn scores(&self, x: &[f64]) -> Vec<f64> {
+        self.forward(x)
+    }
+}
+
+impl Regressor for Mlp {
+    /// # Panics
+    ///
+    /// Panics if called on a classification-head network.
+    fn predict(&self, x: &[f64]) -> f64 {
+        assert!(
+            matches!(self.head, Head::Regression),
+            "predict() requires a regression head"
+        );
+        self.forward(x)[0]
+    }
+}
+
+fn softmax_in_place(z: &mut [f64]) {
+    let max = z.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in z.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in z {
+        *v /= sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use lori_core::Rng;
+
+    fn xor_like(n: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::from_seed(seed);
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let a = rng.bernoulli(0.5);
+            let b = rng.bernoulli(0.5);
+            rows.push(vec![
+                f64::from(u8::from(a)) + rng.normal_with(0.0, 0.1),
+                f64::from(u8::from(b)) + rng.normal_with(0.0, 0.1),
+            ]);
+            ys.push(f64::from(u8::from(a ^ b)));
+        }
+        Dataset::from_rows(rows, ys).unwrap()
+    }
+
+    #[test]
+    fn learns_xor() {
+        let ds = xor_like(400, 1);
+        let mlp = Mlp::fit(&ds, &MlpConfig::classifier(2)).unwrap();
+        let preds: Vec<usize> = ds
+            .features()
+            .iter()
+            .map(|r| Classifier::predict(&mlp, r))
+            .collect();
+        let acc = accuracy(&ds.class_targets(), &preds).unwrap();
+        assert!(acc > 0.97, "accuracy {acc}");
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let ds = xor_like(200, 2);
+        let mlp = Mlp::fit(&ds, &MlpConfig::classifier(2)).unwrap();
+        let h = mlp.loss_history();
+        assert!(h.last().unwrap() < h.first().unwrap());
+    }
+
+    #[test]
+    fn regression_fits_sine() {
+        let mut rng = Rng::from_seed(3);
+        let rows: Vec<Vec<f64>> = (0..500).map(|_| vec![rng.uniform_in(-3.0, 3.0)]).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| r[0].sin()).collect();
+        let ds = Dataset::from_rows(rows.clone(), ys.clone()).unwrap();
+        let mlp = Mlp::fit(&ds, &MlpConfig::regressor()).unwrap();
+        let mse: f64 = rows
+            .iter()
+            .zip(&ys)
+            .map(|(r, y)| (Regressor::predict(&mlp, r) - y).powi(2))
+            .sum::<f64>()
+            / 500.0;
+        assert!(mse < 0.01, "mse {mse}");
+    }
+
+    #[test]
+    fn softmax_outputs_distribution() {
+        let ds = xor_like(100, 4);
+        let mlp = Mlp::fit(&ds, &MlpConfig::classifier(2)).unwrap();
+        let s = mlp.scores(&[0.5, 0.5]);
+        assert_eq!(s.len(), 2);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(s.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let ds = xor_like(50, 5);
+        let mut c = MlpConfig::classifier(2);
+        c.learning_rate = 0.0;
+        assert!(Mlp::fit(&ds, &c).is_err());
+        let mut c = MlpConfig::classifier(2);
+        c.hidden = vec![0];
+        assert!(Mlp::fit(&ds, &c).is_err());
+        let c = MlpConfig::classifier(1);
+        assert!(Mlp::fit(&ds, &c).is_err());
+        // Class label out of range for declared n_classes.
+        let bad = Dataset::from_rows(vec![vec![0.0], vec![1.0]], vec![0.0, 5.0]).unwrap();
+        assert!(Mlp::fit(&bad, &MlpConfig::classifier(2)).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = xor_like(100, 6);
+        let a = Mlp::fit(&ds, &MlpConfig::classifier(2)).unwrap();
+        let b = Mlp::fit(&ds, &MlpConfig::classifier(2)).unwrap();
+        assert_eq!(a.forward(&[0.3, 0.7]), b.forward(&[0.3, 0.7]));
+    }
+
+    #[test]
+    fn parameter_count_matches_architecture() {
+        let ds = xor_like(50, 7);
+        let mut c = MlpConfig::classifier(2);
+        c.hidden = vec![4];
+        c.epochs = 1;
+        let mlp = Mlp::fit(&ds, &c).unwrap();
+        // 2->4: 8 w + 4 b; 4->2: 8 w + 2 b = 22.
+        assert_eq!(mlp.parameter_count(), 22);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a regression head")]
+    fn regression_predict_on_classifier_panics() {
+        let ds = xor_like(50, 8);
+        let mut c = MlpConfig::classifier(2);
+        c.epochs = 1;
+        let mlp = Mlp::fit(&ds, &c).unwrap();
+        let _: f64 = Regressor::predict(&mlp, &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn activations_behave() {
+        assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-12);
+        assert!((Activation::Tanh.apply(0.0)).abs() < 1e-12);
+        assert_eq!(Activation::Relu.derivative_from_output(0.0), 0.0);
+        assert_eq!(Activation::Relu.derivative_from_output(3.0), 1.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Gaussian naive Bayes classification.
+
+use crate::data::Dataset;
+use crate::error::MlError;
+use crate::traits::{Classifier, ProbabilisticClassifier};
+
+/// A fitted Gaussian naive Bayes model: per-class feature means/variances and
+/// log-priors, assuming feature independence within each class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianNb {
+    /// `means[c][j]`: mean of feature `j` in class `c`.
+    means: Vec<Vec<f64>>,
+    /// `vars[c][j]`: variance of feature `j` in class `c` (floored).
+    vars: Vec<Vec<f64>>,
+    log_priors: Vec<f64>,
+}
+
+impl GaussianNb {
+    /// Fits per-class Gaussians. Empty classes receive a `-inf` prior and are
+    /// never predicted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::SingleClass`] if fewer than two classes appear.
+    pub fn fit(ds: &Dataset) -> Result<Self, MlError> {
+        let ys = ds.class_targets();
+        let n_classes = ds.n_classes();
+        if n_classes < 2 {
+            return Err(MlError::SingleClass);
+        }
+        let d = ds.n_features();
+        let mut counts = vec![0usize; n_classes];
+        let mut means = vec![vec![0.0f64; d]; n_classes];
+        for (row, &c) in ds.features().iter().zip(&ys) {
+            counts[c] += 1;
+            for (m, &x) in means[c].iter_mut().zip(row) {
+                *m += x;
+            }
+        }
+        if counts.iter().filter(|&&c| c > 0).count() < 2 {
+            return Err(MlError::SingleClass);
+        }
+        for (c, mean_row) in means.iter_mut().enumerate() {
+            if counts[c] > 0 {
+                #[allow(clippy::cast_precision_loss)]
+                let n = counts[c] as f64;
+                for m in mean_row {
+                    *m /= n;
+                }
+            }
+        }
+        let mut vars = vec![vec![0.0f64; d]; n_classes];
+        for (row, &c) in ds.features().iter().zip(&ys) {
+            for ((v, &m), &x) in vars[c].iter_mut().zip(&means[c]).zip(row) {
+                *v += (x - m).powi(2);
+            }
+        }
+        const VAR_FLOOR: f64 = 1e-9;
+        for (c, var_row) in vars.iter_mut().enumerate() {
+            if counts[c] > 0 {
+                #[allow(clippy::cast_precision_loss)]
+                let n = counts[c] as f64;
+                for v in var_row {
+                    *v = (*v / n).max(VAR_FLOOR);
+                }
+            }
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let total = ds.len() as f64;
+        let log_priors = counts
+            .iter()
+            .map(|&c| {
+                if c == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    #[allow(clippy::cast_precision_loss)]
+                    {
+                        (c as f64 / total).ln()
+                    }
+                }
+            })
+            .collect();
+        Ok(GaussianNb {
+            means,
+            vars,
+            log_priors,
+        })
+    }
+
+    /// Per-class joint log-likelihoods (unnormalized posterior).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong number of features.
+    #[must_use]
+    pub fn log_likelihoods(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            x.len(),
+            self.means[0].len(),
+            "feature count mismatch"
+        );
+        self.log_priors
+            .iter()
+            .enumerate()
+            .map(|(c, &lp)| {
+                if lp.is_infinite() {
+                    return f64::NEG_INFINITY;
+                }
+                let mut ll = lp;
+                for ((&m, &v), &xi) in self.means[c].iter().zip(&self.vars[c]).zip(x) {
+                    ll += -0.5 * ((std::f64::consts::TAU * v).ln() + (xi - m).powi(2) / v);
+                }
+                ll
+            })
+            .collect()
+    }
+}
+
+impl Classifier for GaussianNb {
+    fn predict(&self, x: &[f64]) -> usize {
+        self.log_likelihoods(x)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN likelihood"))
+            .map_or(0, |(i, _)| i)
+    }
+}
+
+impl ProbabilisticClassifier for GaussianNb {
+    /// Softmax of the joint log-likelihoods (a proper posterior under the NB
+    /// assumption).
+    fn scores(&self, x: &[f64]) -> Vec<f64> {
+        let ll = self.log_likelihoods(x);
+        let max = ll
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = ll.iter().map(|&l| (l - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        exps.into_iter().map(|e| e / sum).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use lori_core::Rng;
+
+    fn gaussian_blobs(n: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::from_seed(seed);
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let c = rng.below(3);
+            #[allow(clippy::cast_precision_loss)]
+            let center = c as f64 * 4.0;
+            rows.push(vec![
+                rng.normal_with(center, 0.6),
+                rng.normal_with(-center, 0.6),
+            ]);
+            #[allow(clippy::cast_precision_loss)]
+            ys.push(c as f64);
+        }
+        Dataset::from_rows(rows, ys).unwrap()
+    }
+
+    #[test]
+    fn classifies_three_blobs() {
+        let ds = gaussian_blobs(600, 1);
+        let nb = GaussianNb::fit(&ds).unwrap();
+        let preds = nb.predict_batch(ds.features());
+        let acc = accuracy(&ds.class_targets(), &preds).unwrap();
+        assert!(acc > 0.97, "accuracy {acc}");
+    }
+
+    #[test]
+    fn posterior_sums_to_one() {
+        let ds = gaussian_blobs(100, 2);
+        let nb = GaussianNb::fit(&ds).unwrap();
+        let s = nb.scores(&[1.0, -1.0]);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(s.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn single_class_rejected() {
+        let ds = Dataset::from_rows(vec![vec![1.0], vec![2.0]], vec![0.0, 0.0]).unwrap();
+        assert_eq!(GaussianNb::fit(&ds), Err(MlError::SingleClass));
+    }
+
+    #[test]
+    fn handles_zero_variance_feature() {
+        let ds = Dataset::from_rows(
+            vec![vec![1.0, 0.0], vec![1.0, 0.1], vec![2.0, 5.0], vec![2.0, 5.1]],
+            vec![0.0, 0.0, 1.0, 1.0],
+        )
+        .unwrap();
+        let nb = GaussianNb::fit(&ds).unwrap();
+        assert_eq!(nb.predict(&[1.0, 0.05]), 0);
+        assert_eq!(nb.predict(&[2.0, 5.05]), 1);
+    }
+
+    #[test]
+    fn prior_influences_prediction() {
+        // Heavily imbalanced identical-feature classes: prior should win.
+        let mut rows = vec![vec![0.0]; 99];
+        let mut ys = vec![0.0; 99];
+        rows.push(vec![0.0]);
+        ys.push(1.0);
+        let ds = Dataset::from_rows(rows, ys).unwrap();
+        let nb = GaussianNb::fit(&ds).unwrap();
+        assert_eq!(nb.predict(&[0.0]), 0);
+    }
+}

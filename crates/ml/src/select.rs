@@ -1,0 +1,176 @@
+//! Model selection: cross-validation scoring and grid search.
+//!
+//! Sec. VI-C of the paper asks for tooling that lets "system designers
+//! easily identify the ML models for their application-platform
+//! configuration" — this module provides the comparison machinery the
+//! bake-off experiments (E9) and any downstream user need.
+
+use crate::data::Dataset;
+use crate::error::MlError;
+use crate::metrics::accuracy;
+use crate::traits::Classifier;
+use lori_core::Rng;
+
+/// k-fold cross-validation accuracy of a classifier-producing closure.
+///
+/// The closure is called once per fold with the training split; fitting
+/// errors propagate.
+///
+/// # Errors
+///
+/// Propagates dataset and fitting errors.
+pub fn cross_val_accuracy<F, C>(
+    ds: &Dataset,
+    k: usize,
+    seed: u64,
+    fit: F,
+) -> Result<Vec<f64>, MlError>
+where
+    F: Fn(&Dataset) -> Result<C, MlError>,
+    C: Classifier,
+{
+    let mut rng = Rng::from_seed(seed);
+    let folds = ds.kfold(k, &mut rng)?;
+    let mut scores = Vec::with_capacity(k);
+    for (train, val) in &folds {
+        let model = fit(train)?;
+        let preds = model.predict_batch(val.features());
+        scores.push(accuracy(&val.class_targets(), &preds)?);
+    }
+    Ok(scores)
+}
+
+/// Summary of one grid-search candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate<P> {
+    /// The hyper-parameter value.
+    pub params: P,
+    /// Per-fold accuracies.
+    pub fold_scores: Vec<f64>,
+    /// Mean accuracy.
+    pub mean: f64,
+}
+
+/// Exhaustive grid search: evaluates each parameter value with k-fold CV
+/// and returns candidates sorted best-first. Candidates whose fit fails on
+/// any fold are skipped (a hyper-parameter may be invalid for some fold
+/// composition); if all fail, the first error is returned.
+///
+/// # Errors
+///
+/// Returns [`MlError::EmptyDataset`] for an empty grid, or the first fit
+/// error when every candidate fails.
+pub fn grid_search<P, F, C>(
+    ds: &Dataset,
+    k: usize,
+    seed: u64,
+    grid: Vec<P>,
+    fit: F,
+) -> Result<Vec<Candidate<P>>, MlError>
+where
+    P: Clone,
+    F: Fn(&Dataset, &P) -> Result<C, MlError>,
+    C: Classifier,
+{
+    if grid.is_empty() {
+        return Err(MlError::EmptyDataset);
+    }
+    let mut results = Vec::new();
+    let mut first_err = None;
+    for params in grid {
+        match cross_val_accuracy(ds, k, seed, |train| fit(train, &params)) {
+            Ok(fold_scores) => {
+                #[allow(clippy::cast_precision_loss)]
+                let mean = fold_scores.iter().sum::<f64>() / fold_scores.len() as f64;
+                results.push(Candidate {
+                    params,
+                    fold_scores,
+                    mean,
+                });
+            }
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    if results.is_empty() {
+        return Err(first_err.unwrap_or(MlError::EmptyDataset));
+    }
+    results.sort_by(|a, b| b.mean.partial_cmp(&a.mean).expect("finite accuracy"));
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::Knn;
+
+    fn blobs(n: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::from_seed(seed);
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let c = rng.bernoulli(0.5);
+            let center = if c { 2.0 } else { -2.0 };
+            rows.push(vec![
+                rng.normal_with(center, 0.8),
+                rng.normal_with(center, 0.8),
+            ]);
+            ys.push(f64::from(u8::from(c)));
+        }
+        Dataset::from_rows(rows, ys).unwrap()
+    }
+
+    #[test]
+    fn cross_val_scores_are_plausible() {
+        let ds = blobs(200, 1);
+        let scores = cross_val_accuracy(&ds, 5, 2, |train| Knn::fit(train, 5)).unwrap();
+        assert_eq!(scores.len(), 5);
+        for s in &scores {
+            assert!(*s > 0.85, "fold accuracy {s}");
+        }
+    }
+
+    #[test]
+    fn grid_search_ranks_k() {
+        let ds = blobs(200, 3);
+        let results =
+            grid_search(&ds, 5, 4, vec![1usize, 5, 25, 75], |train, &k| Knn::fit(train, k))
+                .unwrap();
+        assert_eq!(results.len(), 4);
+        // Sorted best-first.
+        for w in results.windows(2) {
+            assert!(w[0].mean >= w[1].mean);
+        }
+        // Gigantic k (half the data votes) should not win on tight blobs.
+        assert_ne!(results[0].params, 75);
+    }
+
+    #[test]
+    fn grid_search_skips_invalid_candidates() {
+        let ds = blobs(60, 5);
+        // k = 10_000 exceeds the training size → fit error → skipped.
+        let results =
+            grid_search(&ds, 4, 6, vec![3usize, 10_000], |train, &k| Knn::fit(train, k))
+                .unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].params, 3);
+    }
+
+    #[test]
+    fn grid_search_empty_grid_rejected() {
+        let ds = blobs(60, 7);
+        let grid: Vec<usize> = vec![];
+        assert!(grid_search(&ds, 4, 8, grid, |train, &k| Knn::fit(train, k)).is_err());
+    }
+
+    #[test]
+    fn all_failing_candidates_propagate_error() {
+        let ds = blobs(60, 9);
+        let result =
+            grid_search(&ds, 4, 10, vec![10_000usize], |train, &k| Knn::fit(train, k));
+        assert!(result.is_err());
+    }
+}

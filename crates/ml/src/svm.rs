@@ -1,0 +1,210 @@
+//! Linear support vector machine trained with the Pegasos
+//! (primal estimated sub-gradient) algorithm.
+//!
+//! SVMs are the model IPAS (Sec. III-C.1, ref \[27\]) uses to classify
+//! vulnerable instructions for selective replication.
+
+use crate::data::Dataset;
+use crate::error::MlError;
+use crate::traits::{Classifier, ProbabilisticClassifier};
+use lori_core::Rng;
+
+/// Configuration for Pegasos SVM training.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvmConfig {
+    /// Regularization strength λ (> 0); smaller fits harder.
+    pub lambda: f64,
+    /// Number of stochastic sub-gradient steps.
+    pub steps: usize,
+    /// RNG seed for sample selection.
+    pub seed: u64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        SvmConfig {
+            lambda: 1e-3,
+            steps: 20_000,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted linear SVM (binary; classes 0/1 internally mapped to ±1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearSvm {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LinearSvm {
+    /// Trains with Pegasos: at step `t`, pick a random sample, take a
+    /// sub-gradient step of the hinge loss with rate `1/(λt)`, then project.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::SingleClass`] if only one class is present, or
+    /// [`MlError::InvalidHyperparameter`] for a non-positive `lambda`/`steps`.
+    pub fn fit(ds: &Dataset, config: &SvmConfig) -> Result<Self, MlError> {
+        if !(config.lambda > 0.0) || config.steps == 0 {
+            return Err(MlError::InvalidHyperparameter("svm config"));
+        }
+        let ys = ds.class_targets();
+        if !ys.iter().any(|&y| y == 0) || !ys.iter().any(|&y| y == 1) {
+            return Err(MlError::SingleClass);
+        }
+        let signs: Vec<f64> = ys.iter().map(|&y| if y == 1 { 1.0 } else { -1.0 }).collect();
+        let d = ds.n_features();
+        let mut w = vec![0.0f64; d];
+        let mut b = 0.0f64;
+        let mut rng = Rng::from_seed(config.seed);
+        #[allow(clippy::cast_possible_truncation)]
+        for t in 1..=config.steps {
+            let i = rng.below(ds.len() as u64) as usize;
+            let (x, _) = ds.sample(i);
+            let y = signs[i];
+            #[allow(clippy::cast_precision_loss)]
+            let eta = 1.0 / (config.lambda * t as f64);
+            let margin = y * (b + dot(&w, x));
+            // Shrink (regularization applies to every step).
+            let shrink = 1.0 - eta * config.lambda;
+            for wi in &mut w {
+                *wi *= shrink;
+            }
+            if margin < 1.0 {
+                for (wi, &xi) in w.iter_mut().zip(x) {
+                    *wi += eta * y * xi;
+                }
+                b += eta * y;
+            }
+            // Pegasos projection step: keep ||w|| ≤ 1/√λ.
+            let norm = w.iter().map(|wi| wi * wi).sum::<f64>().sqrt();
+            let cap = 1.0 / config.lambda.sqrt();
+            if norm > cap {
+                let s = cap / norm;
+                for wi in &mut w {
+                    *wi *= s;
+                }
+            }
+        }
+        Ok(LinearSvm { weights: w, bias: b })
+    }
+
+    /// Signed decision value `w·x + b`; positive means class 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong number of features.
+    #[must_use]
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "feature count mismatch");
+        self.bias + dot(&self.weights, x)
+    }
+
+    /// The learned feature weights.
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn predict(&self, x: &[f64]) -> usize {
+        usize::from(self.decision(x) >= 0.0)
+    }
+}
+
+impl ProbabilisticClassifier for LinearSvm {
+    /// A logistic squashing of the margin — not calibrated, but monotone in
+    /// the decision value, which is what threshold sweeps need.
+    fn scores(&self, x: &[f64]) -> Vec<f64> {
+        let p = 1.0 / (1.0 + (-self.decision(x)).exp());
+        vec![1.0 - p, p]
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    fn blobs(n: usize, gap: f64, seed: u64) -> Dataset {
+        let mut rng = Rng::from_seed(seed);
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let cls = rng.bernoulli(0.5);
+            let c = if cls { gap } else { -gap };
+            rows.push(vec![rng.normal_with(c, 0.5), rng.normal_with(c, 0.5)]);
+            ys.push(f64::from(u8::from(cls)));
+        }
+        Dataset::from_rows(rows, ys).unwrap()
+    }
+
+    #[test]
+    fn separates_wide_blobs() {
+        let ds = blobs(400, 2.0, 1);
+        let svm = LinearSvm::fit(&ds, &SvmConfig::default()).unwrap();
+        let acc = accuracy(&ds.class_targets(), &svm.predict_batch(ds.features())).unwrap();
+        assert!(acc > 0.98, "accuracy {acc}");
+    }
+
+    #[test]
+    fn decision_sign_tracks_class() {
+        let ds = blobs(400, 2.0, 2);
+        let svm = LinearSvm::fit(&ds, &SvmConfig::default()).unwrap();
+        assert!(svm.decision(&[3.0, 3.0]) > 0.0);
+        assert!(svm.decision(&[-3.0, -3.0]) < 0.0);
+    }
+
+    #[test]
+    fn single_class_rejected() {
+        let ds = Dataset::from_rows(vec![vec![1.0], vec![2.0]], vec![0.0, 0.0]).unwrap();
+        assert_eq!(
+            LinearSvm::fit(&ds, &SvmConfig::default()),
+            Err(MlError::SingleClass)
+        );
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let ds = Dataset::from_rows(vec![vec![1.0], vec![2.0]], vec![0.0, 1.0]).unwrap();
+        assert!(LinearSvm::fit(
+            &ds,
+            &SvmConfig {
+                lambda: 0.0,
+                ..SvmConfig::default()
+            }
+        )
+        .is_err());
+        assert!(LinearSvm::fit(
+            &ds,
+            &SvmConfig {
+                steps: 0,
+                ..SvmConfig::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let ds = blobs(100, 2.0, 3);
+        let a = LinearSvm::fit(&ds, &SvmConfig::default()).unwrap();
+        let b = LinearSvm::fit(&ds, &SvmConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scores_monotone_in_decision() {
+        let ds = blobs(200, 2.0, 4);
+        let svm = LinearSvm::fit(&ds, &SvmConfig::default()).unwrap();
+        let near = svm.scores(&[0.1, 0.1])[1];
+        let far = svm.scores(&[4.0, 4.0])[1];
+        assert!(far > near);
+    }
+}

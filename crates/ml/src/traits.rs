@@ -1,0 +1,66 @@
+//! Common prediction traits shared by all `lori-ml` models.
+
+/// A trained classifier over dense feature rows.
+///
+/// Object-safe so heterogeneous model zoos (e.g. the fault-outcome bake-off
+/// experiment) can hold `Box<dyn Classifier>`.
+pub trait Classifier {
+    /// Predicts the class index for one sample.
+    fn predict(&self, x: &[f64]) -> usize;
+
+    /// Predicts class indices for a batch of samples.
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+}
+
+/// A trained regressor over dense feature rows.
+pub trait Regressor {
+    /// Predicts the target for one sample.
+    fn predict(&self, x: &[f64]) -> f64;
+
+    /// Predicts targets for a batch of samples.
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+}
+
+/// A classifier that can also report a per-class score/probability vector.
+pub trait ProbabilisticClassifier: Classifier {
+    /// Per-class scores for one sample; higher means more likely.
+    /// Implementations should return a vector of length `n_classes`.
+    fn scores(&self, x: &[f64]) -> Vec<f64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Constant(usize);
+    impl Classifier for Constant {
+        fn predict(&self, _x: &[f64]) -> usize {
+            self.0
+        }
+    }
+
+    struct Zero;
+    impl Regressor for Zero {
+        fn predict(&self, _x: &[f64]) -> f64 {
+            0.0
+        }
+    }
+
+    #[test]
+    fn default_batch_methods() {
+        let c = Constant(3);
+        assert_eq!(c.predict_batch(&[vec![1.0], vec![2.0]]), vec![3, 3]);
+        let r = Zero;
+        assert_eq!(r.predict_batch(&[vec![1.0]]), vec![0.0]);
+    }
+
+    #[test]
+    fn classifier_is_object_safe() {
+        let models: Vec<Box<dyn Classifier>> = vec![Box::new(Constant(0)), Box::new(Constant(1))];
+        assert_eq!(models[1].predict(&[0.0]), 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type for `lori-sys`.
+
+use std::fmt;
+
+/// Errors produced by platform/task construction and simulation setup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SysError {
+    /// A platform needs at least one core; a core at least one V-f point.
+    EmptyPlatform(&'static str),
+    /// A task parameter was invalid.
+    BadTask {
+        /// What was wrong.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A mapping referenced a core or task that does not exist.
+    BadMapping {
+        /// What was referenced.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+    },
+    /// A V-f level index was out of range for a core.
+    BadLevel {
+        /// Core index.
+        core: usize,
+        /// Requested level.
+        level: usize,
+    },
+    /// A simulation/model parameter was out of domain.
+    BadParameter {
+        /// Parameter name.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for SysError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SysError::EmptyPlatform(what) => write!(f, "empty platform: {what}"),
+            SysError::BadTask { what, value } => write!(f, "bad task parameter {what}: {value}"),
+            SysError::BadMapping { what, index } => write!(f, "bad mapping: {what} {index}"),
+            SysError::BadLevel { core, level } => {
+                write!(f, "core {core} has no V-f level {level}")
+            }
+            SysError::BadParameter { what, value } => {
+                write!(f, "parameter {what} out of domain: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SysError {}

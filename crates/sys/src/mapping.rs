@@ -1,0 +1,294 @@
+//! Heterogeneous task mapping and the Mean-Workload-To-Failure metric.
+//!
+//! Sec. IV-A.3 (ref \[2\]): on a heterogeneous platform, mapping a task to a
+//! faster core shortens its exposure window, but big cores expose a larger
+//! soft-error cross section; MWTF-aware mapping balances performance against
+//! vulnerability. This module scores mappings and provides three strategies
+//! (performance-greedy, round-robin, MWTF-greedy) plus sample generation for
+//! training an ML vulnerability estimator (experiment E12).
+
+use crate::error::SysError;
+use crate::platform::Platform;
+use crate::sched::Mapping;
+use crate::ser::SerModel;
+use crate::task::Task;
+use lori_core::reliability::mwtf;
+use lori_core::units::Seconds;
+use lori_core::Rng;
+
+/// Per-task and aggregate mapping quality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingReport {
+    /// MWTF of each task under the mapping (workloads per failure).
+    pub task_mwtf: Vec<f64>,
+    /// Harmonic aggregate (dominated by the most vulnerable task).
+    pub system_mwtf: f64,
+    /// Maximum per-core utilization (≤ 1 required for schedulability).
+    pub max_core_utilization: f64,
+    /// Expected failures per hour across the task set.
+    pub failures_per_hour: f64,
+}
+
+/// Evaluates a mapping at each core's top V-f level.
+///
+/// # Errors
+///
+/// Returns [`SysError::BadMapping`] for inconsistent inputs or
+/// [`SysError::BadParameter`] via the SER model.
+pub fn evaluate_mapping(
+    platform: &Platform,
+    tasks: &[Task],
+    mapping: &Mapping,
+    ser: &SerModel,
+) -> Result<MappingReport, SysError> {
+    ser.validate()?;
+    if mapping.assignment().len() != tasks.len() {
+        return Err(SysError::BadMapping {
+            what: "assignment length",
+            index: mapping.assignment().len(),
+        });
+    }
+    let mut task_mwtf = Vec::with_capacity(tasks.len());
+    let mut core_util = vec![0.0f64; platform.core_count()];
+    let mut failures_per_hour = 0.0;
+    for (t, task) in tasks.iter().enumerate() {
+        let core_idx = mapping.core_of(t);
+        if core_idx >= platform.core_count() {
+            return Err(SysError::BadMapping {
+                what: "core",
+                index: core_idx,
+            });
+        }
+        let core = platform.core(core_idx);
+        let vf = core.vf(core.level_count() - 1).expect("top level exists");
+        let throughput = core.throughput_per_ms(vf); // work units per ms
+        let exec_ms = task.wcet_work / throughput;
+        core_util[core_idx] += exec_ms / task.period_ms;
+        let rate = ser.rate_at(vf.voltage, core.kind.ser_cross_section());
+        let m = mwtf(rate, task.avf, Seconds(exec_ms / 1000.0)).map_err(|_| {
+            SysError::BadParameter {
+                what: "mwtf inputs",
+                value: task.avf,
+            }
+        })?;
+        task_mwtf.push(m);
+        // Failure probability per job ≈ λ·AVF·t; jobs per hour = 3600e3/period.
+        let p_fail = rate.per_second() * task.avf * exec_ms / 1000.0;
+        failures_per_hour += p_fail * (3_600_000.0 / task.period_ms);
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let system_mwtf = tasks.len() as f64 / task_mwtf.iter().map(|m| 1.0 / m).sum::<f64>();
+    Ok(MappingReport {
+        task_mwtf,
+        system_mwtf,
+        max_core_utilization: core_util.iter().copied().fold(0.0, f64::max),
+        failures_per_hour,
+    })
+}
+
+/// Greedy performance mapping: each task goes to the core giving it the
+/// shortest execution time, balanced by current utilization.
+#[must_use]
+pub fn map_performance(platform: &Platform, tasks: &[Task]) -> Mapping {
+    greedy(platform, tasks, |_, exec_ms, _| -exec_ms)
+}
+
+/// Greedy MWTF mapping: each task goes to the feasible core maximizing its
+/// MWTF (slow-but-small cores win for high-AVF tasks).
+#[must_use]
+pub fn map_mwtf_aware(platform: &Platform, tasks: &[Task], ser: &SerModel) -> Mapping {
+    let ser = *ser;
+    greedy(platform, tasks, move |core_idx, exec_ms, platform_ref| {
+        let core = platform_ref.core(core_idx);
+        let vf = core.vf(core.level_count() - 1).expect("top level exists");
+        let rate = ser.rate_at(vf.voltage, core.kind.ser_cross_section());
+        // Higher is better: inverse of rate × time.
+        1.0 / (rate.per_second() * exec_ms).max(1e-30)
+    })
+}
+
+fn greedy<F>(platform: &Platform, tasks: &[Task], score: F) -> Mapping
+where
+    F: Fn(usize, f64, &Platform) -> f64,
+{
+    let n_cores = platform.core_count();
+    let mut util = vec![0.0f64; n_cores];
+    let mut assignment = Vec::with_capacity(tasks.len());
+    // Assign heaviest tasks first for better packing.
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    order.sort_by(|&a, &b| {
+        tasks[b]
+            .wcet_work
+            .partial_cmp(&tasks[a].wcet_work)
+            .expect("finite work")
+    });
+    let mut chosen = vec![0usize; tasks.len()];
+    for &t in &order {
+        let task = &tasks[t];
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for c in 0..n_cores {
+            let core = platform.core(c);
+            let vf = core.vf(core.level_count() - 1).expect("top level exists");
+            let exec_ms = task.wcet_work / core.throughput_per_ms(vf);
+            let u = exec_ms / task.period_ms;
+            if util[c] + u > 1.0 {
+                continue; // infeasible on this core
+            }
+            // Penalize load imbalance slightly so greedy stays feasible.
+            let s = score(c, exec_ms, platform) - util[c] * 1e-6;
+            if s > best_score {
+                best_score = s;
+                best = c;
+            }
+        }
+        // If nothing is feasible, fall back to the least-loaded core.
+        if best_score == f64::NEG_INFINITY {
+            best = (0..n_cores)
+                .min_by(|&a, &b| util[a].partial_cmp(&util[b]).expect("finite util"))
+                .expect("non-empty platform");
+        }
+        let core = platform.core(best);
+        let vf = core.vf(core.level_count() - 1).expect("top level exists");
+        util[best] += (task.wcet_work / core.throughput_per_ms(vf)) / task.period_ms;
+        chosen[t] = best;
+    }
+    assignment.extend_from_slice(&chosen);
+    Mapping::new(assignment, tasks.len(), n_cores).expect("constructed consistently")
+}
+
+/// Generates noisy "measured vulnerability" samples for (task, core) pairs —
+/// the training data an ML vulnerability estimator (ref \[2\]'s NN) learns
+/// from. Features: `[task AVF, task utilization proxy, core IPC, core SER
+/// cross section, core top voltage]`; target: observed failures per hour for
+/// the pair, with multiplicative measurement noise.
+#[must_use]
+pub fn vulnerability_samples(
+    platform: &Platform,
+    tasks: &[Task],
+    ser: &SerModel,
+    noise: f64,
+    rng: &mut Rng,
+) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for task in tasks {
+        for c in 0..platform.core_count() {
+            let core = platform.core(c);
+            let vf = core.vf(core.level_count() - 1).expect("top level exists");
+            let exec_ms = task.wcet_work / core.throughput_per_ms(vf);
+            let rate = ser.rate_at(vf.voltage, core.kind.ser_cross_section());
+            let p_fail = rate.per_second() * task.avf * exec_ms / 1000.0;
+            let per_hour = p_fail * (3_600_000.0 / task.period_ms);
+            let measured = per_hour * (1.0 + noise * rng.normal());
+            xs.push(vec![
+                task.avf,
+                task.wcet_work / task.period_ms,
+                core.kind.ipc_factor(),
+                core.kind.ser_cross_section(),
+                vf.voltage.value(),
+            ]);
+            ys.push(measured.max(0.0));
+        }
+    }
+    (xs, ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::generate_task_set;
+
+    fn setup(seed: u64) -> (Platform, Vec<Task>, SerModel) {
+        let platform = Platform::big_little_2x2();
+        let mut rng = Rng::from_seed(seed);
+        let tasks = generate_task_set(8, 1.2, 1.6e6, (10.0, 80.0), &mut rng).unwrap();
+        (platform, tasks, SerModel::default())
+    }
+
+    #[test]
+    fn mwtf_mapping_beats_performance_mapping_on_mwtf() {
+        let (platform, tasks, ser) = setup(1);
+        let perf = map_performance(&platform, &tasks);
+        let safe = map_mwtf_aware(&platform, &tasks, &ser);
+        let r_perf = evaluate_mapping(&platform, &tasks, &perf, &ser).unwrap();
+        let r_safe = evaluate_mapping(&platform, &tasks, &safe, &ser).unwrap();
+        assert!(
+            r_safe.system_mwtf >= r_perf.system_mwtf,
+            "mwtf-aware {} vs performance {}",
+            r_safe.system_mwtf,
+            r_perf.system_mwtf
+        );
+        assert!(r_safe.failures_per_hour <= r_perf.failures_per_hour);
+    }
+
+    #[test]
+    fn both_strategies_stay_schedulable_at_moderate_load() {
+        let (platform, tasks, ser) = setup(2);
+        for mapping in [
+            map_performance(&platform, &tasks),
+            map_mwtf_aware(&platform, &tasks, &ser),
+        ] {
+            let r = evaluate_mapping(&platform, &tasks, &mapping, &ser).unwrap();
+            assert!(
+                r.max_core_utilization <= 1.0,
+                "utilization {}",
+                r.max_core_utilization
+            );
+        }
+    }
+
+    #[test]
+    fn performance_mapping_prefers_big_cores() {
+        let (platform, tasks, _) = setup(3);
+        let perf = map_performance(&platform, &tasks);
+        let big_count = perf
+            .assignment()
+            .iter()
+            .filter(|&&c| c < 2) // cores 0,1 are Big in big_little_2x2
+            .count();
+        assert!(big_count * 2 >= tasks.len(), "big cores underused: {big_count}");
+    }
+
+    #[test]
+    fn evaluate_rejects_bad_mapping() {
+        let (platform, tasks, ser) = setup(4);
+        let bad = Mapping::round_robin(tasks.len() + 1, platform.core_count());
+        assert!(evaluate_mapping(&platform, &tasks, &bad, &ser).is_err());
+    }
+
+    #[test]
+    fn vulnerability_samples_shape_and_signal() {
+        let (platform, tasks, ser) = setup(5);
+        let mut rng = Rng::from_seed(6);
+        let (xs, ys) = vulnerability_samples(&platform, &tasks, &ser, 0.05, &mut rng);
+        assert_eq!(xs.len(), tasks.len() * platform.core_count());
+        assert_eq!(xs.len(), ys.len());
+        assert_eq!(xs[0].len(), 5);
+        assert!(ys.iter().all(|&y| y >= 0.0));
+        // The same task must show different measured vulnerability on Big
+        // vs Little cores — that contrast is the signal the ML estimator
+        // (E12) learns from. (Big cores expose more state but finish jobs
+        // sooner, so the *per-hour* rate can go either way; it must differ.)
+        let n_cores = platform.core_count();
+        let mut any_contrast = false;
+        for chunk in ys.chunks(n_cores) {
+            let min = chunk.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = chunk.iter().copied().fold(0.0f64, f64::max);
+            if max > min * 1.2 {
+                any_contrast = true;
+            }
+        }
+        assert!(any_contrast, "no core contrast in vulnerability samples");
+    }
+
+    #[test]
+    fn system_mwtf_is_harmonic() {
+        let (platform, tasks, ser) = setup(7);
+        let mapping = map_performance(&platform, &tasks);
+        let r = evaluate_mapping(&platform, &tasks, &mapping, &ser).unwrap();
+        let min = r.task_mwtf.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = r.task_mwtf.iter().copied().fold(0.0f64, f64::max);
+        assert!(r.system_mwtf >= min && r.system_mwtf <= max);
+    }
+}

@@ -1,0 +1,427 @@
+//! Mixed-criticality scheduling (the paper's open challenge, Sec. VI-B).
+//!
+//! Tasks carry criticality levels (LO/HI in the classic Vestal model). The
+//! system starts in LO mode with optimistic execution budgets; when a HI
+//! task overruns its LO budget, the system switches to HI mode, drops LO
+//! tasks, and gives HI tasks their pessimistic budgets. The paper names
+//! run-time reliability management of such systems — with low-overhead
+//! learning — as an open challenge; this module provides the substrate and a
+//! learned overrun predictor that switches modes *proactively*.
+
+use crate::error::SysError;
+use lori_core::Rng;
+
+/// Criticality level of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Criticality {
+    /// Low criticality: dropped in HI mode.
+    Lo,
+    /// High criticality: must never miss, in either mode.
+    Hi,
+}
+
+/// A mixed-criticality task with per-mode execution budgets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McTask {
+    /// Dense id.
+    pub id: usize,
+    /// Criticality level.
+    pub criticality: Criticality,
+    /// Period (= deadline) in ms.
+    pub period_ms: f64,
+    /// Optimistic (LO-mode) execution budget in ms.
+    pub wcet_lo_ms: f64,
+    /// Pessimistic (HI-mode) budget in ms; for LO tasks equals `wcet_lo_ms`.
+    pub wcet_hi_ms: f64,
+}
+
+impl McTask {
+    /// Creates a task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::BadTask`] for non-positive budgets/periods or a
+    /// HI budget below the LO budget.
+    pub fn new(
+        id: usize,
+        criticality: Criticality,
+        period_ms: f64,
+        wcet_lo_ms: f64,
+        wcet_hi_ms: f64,
+    ) -> Result<Self, SysError> {
+        if !(period_ms > 0.0) {
+            return Err(SysError::BadTask {
+                what: "period_ms",
+                value: period_ms,
+            });
+        }
+        if !(wcet_lo_ms > 0.0) || wcet_lo_ms > period_ms {
+            return Err(SysError::BadTask {
+                what: "wcet_lo_ms",
+                value: wcet_lo_ms,
+            });
+        }
+        if wcet_hi_ms < wcet_lo_ms {
+            return Err(SysError::BadTask {
+                what: "wcet_hi_ms",
+                value: wcet_hi_ms,
+            });
+        }
+        Ok(McTask {
+            id,
+            criticality,
+            period_ms,
+            wcet_lo_ms,
+            wcet_hi_ms,
+        })
+    }
+}
+
+/// System execution mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Optimistic: every task runs with LO budgets.
+    #[default]
+    Lo,
+    /// Degraded: LO tasks dropped, HI tasks get HI budgets.
+    Hi,
+}
+
+/// Outcome of one hyperperiod-style simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct McReport {
+    /// Jobs of HI tasks that completed by their deadline.
+    pub hi_completed: u64,
+    /// Jobs of HI tasks that missed (must be zero for a correct system).
+    pub hi_missed: u64,
+    /// Jobs of LO tasks completed.
+    pub lo_completed: u64,
+    /// Jobs of LO tasks dropped or missed (service loss, acceptable).
+    pub lo_lost: u64,
+    /// Number of LO→HI mode switches.
+    pub mode_switches: u64,
+    /// Quanta spent in HI mode.
+    pub hi_mode_quanta: u64,
+}
+
+impl McReport {
+    /// Fraction of LO jobs that received service.
+    #[must_use]
+    pub fn lo_service(&self) -> f64 {
+        let total = self.lo_completed + self.lo_lost;
+        if total == 0 {
+            1.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.lo_completed as f64 / total as f64
+            }
+        }
+    }
+}
+
+/// Mode-switch policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SwitchPolicy {
+    /// Classic: switch when a HI job exceeds its LO budget; return to LO
+    /// when the system idles.
+    Reactive,
+    /// Learned: additionally switch *before* the overrun when the recent
+    /// overrun frequency estimate exceeds the threshold — buying the HI
+    /// tasks their pessimistic budget earlier at the cost of LO service.
+    Proactive {
+        /// Overrun-probability threshold for the early switch.
+        threshold: f64,
+    },
+}
+
+/// A single-core EDF mixed-criticality simulator with stochastic execution
+/// demand: each HI job's true demand is its LO budget, inflated to (at most)
+/// the HI budget with probability `overrun_probability`.
+#[derive(Debug, Clone)]
+pub struct McSimulator {
+    tasks: Vec<McTask>,
+    overrun_probability: f64,
+    policy: SwitchPolicy,
+    quantum_ms: f64,
+}
+
+#[derive(Debug, Clone)]
+struct McJob {
+    task: usize,
+    deadline_ms: f64,
+    remaining_ms: f64,
+    demand_ms: f64,
+    executed_ms: f64,
+}
+
+impl McSimulator {
+    /// Creates a simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::EmptyPlatform`] for no tasks or
+    /// [`SysError::BadParameter`] for invalid probabilities/quanta.
+    pub fn new(
+        tasks: Vec<McTask>,
+        overrun_probability: f64,
+        policy: SwitchPolicy,
+    ) -> Result<Self, SysError> {
+        if tasks.is_empty() {
+            return Err(SysError::EmptyPlatform("mixed-criticality tasks"));
+        }
+        if !(0.0..=1.0).contains(&overrun_probability) {
+            return Err(SysError::BadParameter {
+                what: "overrun_probability",
+                value: overrun_probability,
+            });
+        }
+        if let SwitchPolicy::Proactive { threshold } = policy {
+            if !(0.0..=1.0).contains(&threshold) {
+                return Err(SysError::BadParameter {
+                    what: "threshold",
+                    value: threshold,
+                });
+            }
+        }
+        Ok(McSimulator {
+            tasks,
+            overrun_probability,
+            policy,
+            quantum_ms: 0.2,
+        })
+    }
+
+    /// Runs for `duration_ms` and reports.
+    pub fn run(&self, duration_ms: f64, rng: &mut Rng) -> McReport {
+        let mut report = McReport::default();
+        let mut mode = Mode::Lo;
+        let mut ready: Vec<McJob> = Vec::new();
+        let mut next_release: Vec<f64> = vec![0.0; self.tasks.len()];
+        // Online overrun-frequency estimate for the proactive policy.
+        let mut overruns = 1.0f64;
+        let mut hi_jobs_seen = 2.0f64;
+        let mut t = 0.0;
+        while t < duration_ms {
+            // Releases.
+            for (i, task) in self.tasks.iter().enumerate() {
+                while next_release[i] <= t {
+                    if mode == Mode::Hi && task.criticality == Criticality::Lo {
+                        report.lo_lost += 1; // dropped at release in HI mode
+                    } else {
+                        let overrun = task.criticality == Criticality::Hi
+                            && rng.bernoulli(self.overrun_probability);
+                        let demand = if overrun {
+                            rng.uniform_in(task.wcet_lo_ms, task.wcet_hi_ms.max(task.wcet_lo_ms + 1e-9))
+                        } else {
+                            rng.uniform_in(task.wcet_lo_ms * 0.5, task.wcet_lo_ms)
+                        };
+                        ready.push(McJob {
+                            task: i,
+                            deadline_ms: next_release[i] + task.period_ms,
+                            remaining_ms: demand,
+                            demand_ms: demand,
+                            executed_ms: 0.0,
+                        });
+                    }
+                    next_release[i] += task.period_ms;
+                }
+            }
+
+            // Proactive switch on estimated overrun pressure.
+            if mode == Mode::Lo {
+                if let SwitchPolicy::Proactive { threshold } = self.policy {
+                    if overruns / hi_jobs_seen > threshold {
+                        mode = Mode::Hi;
+                        report.mode_switches += 1;
+                        ready.retain(|j| {
+                            if self.tasks[j.task].criticality == Criticality::Lo {
+                                report.lo_lost += 1;
+                                false
+                            } else {
+                                true
+                            }
+                        });
+                    }
+                }
+            }
+
+            // Deadline handling.
+            ready.retain(|j| {
+                if j.deadline_ms <= t {
+                    match self.tasks[j.task].criticality {
+                        Criticality::Hi => report.hi_missed += 1,
+                        Criticality::Lo => report.lo_lost += 1,
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+
+            // EDF pick + execute one quantum.
+            if let Some(idx) = ready
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    a.1.deadline_ms
+                        .partial_cmp(&b.1.deadline_ms)
+                        .expect("finite deadlines")
+                })
+                .map(|(i, _)| i)
+            {
+                let switch_now = {
+                    let job = &mut ready[idx];
+                    let task = &self.tasks[job.task];
+                    let step = self.quantum_ms.min(job.remaining_ms);
+                    job.remaining_ms -= step;
+                    job.executed_ms += step;
+                    // Reactive LO→HI switch: HI job exceeded its LO budget.
+                    mode == Mode::Lo
+                        && task.criticality == Criticality::Hi
+                        && job.executed_ms > task.wcet_lo_ms + 1e-9
+                };
+                if switch_now {
+                    mode = Mode::Hi;
+                    report.mode_switches += 1;
+                    ready.retain(|j| {
+                        if self.tasks[j.task].criticality == Criticality::Lo {
+                            report.lo_lost += 1;
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+                // Completion check (job may have moved; find by stable key).
+                ready.retain(|j| {
+                    if j.remaining_ms <= 1e-12 {
+                        match self.tasks[j.task].criticality {
+                            Criticality::Hi => {
+                                report.hi_completed += 1;
+                                hi_jobs_seen += 1.0;
+                                if j.demand_ms > self.tasks[j.task].wcet_lo_ms {
+                                    overruns += 1.0;
+                                }
+                            }
+                            Criticality::Lo => report.lo_completed += 1,
+                        }
+                        false
+                    } else {
+                        true
+                    }
+                });
+            } else if mode == Mode::Hi {
+                // Idle instant in HI mode: safe to return to LO — unless the
+                // proactive policy's threat estimate says we would switch
+                // right back (avoids mode flapping).
+                let stay_hi = match self.policy {
+                    SwitchPolicy::Proactive { threshold } => overruns / hi_jobs_seen > threshold,
+                    SwitchPolicy::Reactive => false,
+                };
+                if !stay_hi {
+                    mode = Mode::Lo;
+                }
+            }
+
+            if mode == Mode::Hi {
+                report.hi_mode_quanta += 1;
+            }
+            t += self.quantum_ms;
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task_set() -> Vec<McTask> {
+        vec![
+            McTask::new(0, Criticality::Hi, 10.0, 2.0, 5.0).unwrap(),
+            McTask::new(1, Criticality::Hi, 20.0, 3.0, 7.0).unwrap(),
+            McTask::new(2, Criticality::Lo, 5.0, 1.0, 1.0).unwrap(),
+            McTask::new(3, Criticality::Lo, 8.0, 1.5, 1.5).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn task_validation() {
+        assert!(McTask::new(0, Criticality::Hi, 10.0, 2.0, 5.0).is_ok());
+        assert!(McTask::new(0, Criticality::Hi, 0.0, 2.0, 5.0).is_err());
+        assert!(McTask::new(0, Criticality::Hi, 10.0, 0.0, 5.0).is_err());
+        assert!(McTask::new(0, Criticality::Hi, 10.0, 2.0, 1.0).is_err());
+        assert!(McTask::new(0, Criticality::Hi, 10.0, 11.0, 12.0).is_err());
+    }
+
+    #[test]
+    fn no_overruns_keeps_lo_mode_and_full_service() {
+        let sim = McSimulator::new(task_set(), 0.0, SwitchPolicy::Reactive).unwrap();
+        let mut rng = Rng::from_seed(1);
+        let report = sim.run(2000.0, &mut rng);
+        assert_eq!(report.hi_missed, 0);
+        assert_eq!(report.mode_switches, 0);
+        assert!(report.lo_service() > 0.99, "LO service {}", report.lo_service());
+    }
+
+    #[test]
+    fn overruns_trigger_mode_switches_but_protect_hi() {
+        let sim = McSimulator::new(task_set(), 0.2, SwitchPolicy::Reactive).unwrap();
+        let mut rng = Rng::from_seed(2);
+        let report = sim.run(4000.0, &mut rng);
+        assert!(report.mode_switches > 0, "no switches at 20% overrun rate");
+        assert_eq!(report.hi_missed, 0, "HI tasks must never miss");
+        // LO tasks pay the price.
+        assert!(report.lo_lost > 0);
+        assert!(report.lo_service() < 1.0);
+    }
+
+    #[test]
+    fn proactive_policy_spends_more_time_in_hi_mode() {
+        let mut rng_a = Rng::from_seed(3);
+        let mut rng_b = Rng::from_seed(3);
+        let reactive = McSimulator::new(task_set(), 0.3, SwitchPolicy::Reactive)
+            .unwrap()
+            .run(4000.0, &mut rng_a);
+        let proactive = McSimulator::new(
+            task_set(),
+            0.3,
+            SwitchPolicy::Proactive { threshold: 0.15 },
+        )
+        .unwrap()
+        .run(4000.0, &mut rng_b);
+        assert_eq!(proactive.hi_missed, 0);
+        assert!(
+            proactive.hi_mode_quanta >= reactive.hi_mode_quanta,
+            "proactive {} vs reactive {}",
+            proactive.hi_mode_quanta,
+            reactive.hi_mode_quanta
+        );
+        // And sacrifices at least as much LO service.
+        assert!(proactive.lo_service() <= reactive.lo_service() + 0.02);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(McSimulator::new(vec![], 0.1, SwitchPolicy::Reactive).is_err());
+        assert!(McSimulator::new(task_set(), 1.5, SwitchPolicy::Reactive).is_err());
+        assert!(McSimulator::new(
+            task_set(),
+            0.1,
+            SwitchPolicy::Proactive { threshold: 2.0 }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn lo_service_degrades_with_overrun_rate() {
+        let mut service = Vec::new();
+        for (seed, p) in [(4u64, 0.0), (5, 0.15), (6, 0.4)] {
+            let sim = McSimulator::new(task_set(), p, SwitchPolicy::Reactive).unwrap();
+            let mut rng = Rng::from_seed(seed);
+            service.push(sim.run(4000.0, &mut rng).lo_service());
+        }
+        assert!(service[0] > service[1] && service[1] > service[2], "{service:?}");
+    }
+}

@@ -1,0 +1,173 @@
+//! Periodic real-time tasks and task-set generation.
+
+use crate::error::SysError;
+use lori_core::Rng;
+
+/// A periodic task with implicit deadline (= period).
+///
+/// Work is expressed in *work units* — Little-core cycles at 1 IPC — so the
+/// same task takes less wall-clock on a Big core or at a higher frequency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    /// Task id (dense).
+    pub id: usize,
+    /// Release period / deadline in ms.
+    pub period_ms: f64,
+    /// Worst-case work per job in work units (Little-core cycles).
+    pub wcet_work: f64,
+    /// Architectural vulnerability factor of this task's computation
+    /// (fraction of its state that matters), in `[0, 1]`.
+    pub avf: f64,
+}
+
+impl Task {
+    /// Creates a task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::BadTask`] for non-positive period/work or an AVF
+    /// outside `[0, 1]`.
+    pub fn new(id: usize, period_ms: f64, wcet_work: f64, avf: f64) -> Result<Self, SysError> {
+        if !(period_ms > 0.0 && period_ms.is_finite()) {
+            return Err(SysError::BadTask {
+                what: "period_ms",
+                value: period_ms,
+            });
+        }
+        if !(wcet_work > 0.0 && wcet_work.is_finite()) {
+            return Err(SysError::BadTask {
+                what: "wcet_work",
+                value: wcet_work,
+            });
+        }
+        if !(0.0..=1.0).contains(&avf) || avf.is_nan() {
+            return Err(SysError::BadTask {
+                what: "avf",
+                value: avf,
+            });
+        }
+        Ok(Task {
+            id,
+            period_ms,
+            wcet_work,
+            avf,
+        })
+    }
+
+    /// Utilization of this task on a reference core running at
+    /// `ref_throughput` work units per ms.
+    #[must_use]
+    pub fn utilization(&self, ref_throughput: f64) -> f64 {
+        self.wcet_work / (self.period_ms * ref_throughput)
+    }
+}
+
+/// Generates `n` tasks whose total utilization on a reference core equals
+/// `total_utilization`, using the UUniFast algorithm; periods are drawn
+/// log-uniformly from `period_range_ms`, AVFs uniformly from `[0.1, 0.9]`.
+///
+/// # Errors
+///
+/// Returns [`SysError::BadTask`] for a non-positive utilization or an empty
+/// set, or [`SysError::BadParameter`] for a degenerate period range.
+pub fn generate_task_set(
+    n: usize,
+    total_utilization: f64,
+    ref_throughput: f64,
+    period_range_ms: (f64, f64),
+    rng: &mut Rng,
+) -> Result<Vec<Task>, SysError> {
+    if n == 0 {
+        return Err(SysError::BadTask {
+            what: "task count",
+            value: 0.0,
+        });
+    }
+    if !(total_utilization > 0.0) {
+        return Err(SysError::BadTask {
+            what: "total_utilization",
+            value: total_utilization,
+        });
+    }
+    let (lo, hi) = period_range_ms;
+    if !(lo > 0.0 && hi > lo) {
+        return Err(SysError::BadParameter {
+            what: "period_range_ms",
+            value: lo,
+        });
+    }
+    // UUniFast: unbiased utilization split.
+    let mut utils = Vec::with_capacity(n);
+    let mut sum = total_utilization;
+    for i in 1..n {
+        #[allow(clippy::cast_precision_loss)]
+        let next = sum * rng.uniform().powf(1.0 / (n - i) as f64);
+        utils.push(sum - next);
+        sum = next;
+    }
+    utils.push(sum);
+
+    utils
+        .into_iter()
+        .enumerate()
+        .map(|(id, u)| {
+            let period = (lo.ln() + rng.uniform() * (hi.ln() - lo.ln())).exp();
+            let work = u * period * ref_throughput;
+            Task::new(id, period, work.max(1.0), rng.uniform_in(0.1, 0.9))
+        })
+        .collect()
+}
+
+/// Total utilization of a task set on a reference core.
+#[must_use]
+pub fn total_utilization(tasks: &[Task], ref_throughput: f64) -> f64 {
+    tasks.iter().map(|t| t.utilization(ref_throughput)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_validation() {
+        assert!(Task::new(0, 10.0, 1000.0, 0.5).is_ok());
+        assert!(Task::new(0, 0.0, 1000.0, 0.5).is_err());
+        assert!(Task::new(0, 10.0, -1.0, 0.5).is_err());
+        assert!(Task::new(0, 10.0, 1000.0, 1.5).is_err());
+    }
+
+    #[test]
+    fn uunifast_hits_target_utilization() {
+        let mut rng = Rng::from_seed(1);
+        let ref_thr = 400_000.0; // Little core at 400 MHz
+        let tasks = generate_task_set(8, 0.6, ref_thr, (5.0, 100.0), &mut rng).unwrap();
+        assert_eq!(tasks.len(), 8);
+        let u = total_utilization(&tasks, ref_thr);
+        assert!((u - 0.6).abs() < 0.02, "utilization {u}");
+    }
+
+    #[test]
+    fn periods_within_range() {
+        let mut rng = Rng::from_seed(2);
+        let tasks = generate_task_set(20, 1.0, 1e6, (10.0, 50.0), &mut rng).unwrap();
+        for t in &tasks {
+            assert!(t.period_ms >= 10.0 && t.period_ms <= 50.0);
+            assert!((0.1..=0.9).contains(&t.avf));
+        }
+    }
+
+    #[test]
+    fn generation_validates() {
+        let mut rng = Rng::from_seed(3);
+        assert!(generate_task_set(0, 0.5, 1e6, (1.0, 10.0), &mut rng).is_err());
+        assert!(generate_task_set(4, 0.0, 1e6, (1.0, 10.0), &mut rng).is_err());
+        assert!(generate_task_set(4, 0.5, 1e6, (10.0, 10.0), &mut rng).is_err());
+    }
+
+    #[test]
+    fn generation_deterministic_per_seed() {
+        let a = generate_task_set(5, 0.5, 1e6, (5.0, 50.0), &mut Rng::from_seed(7)).unwrap();
+        let b = generate_task_set(5, 0.5, 1e6, (5.0, 50.0), &mut Rng::from_seed(7)).unwrap();
+        assert_eq!(a, b);
+    }
+}

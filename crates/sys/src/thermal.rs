@@ -1,0 +1,240 @@
+//! A lumped RC thermal network for multicore dies.
+//!
+//! Each core is one thermal node with resistance to ambient and capacitance;
+//! adjacent cores couple through a lateral conductance. Euler integration at
+//! the simulator quantum is plenty at these time constants (tens of ms).
+
+use crate::error::SysError;
+use lori_core::units::{Celsius, Watts};
+
+/// Thermal model parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalConfig {
+    /// Ambient (heatsink) temperature.
+    pub ambient: Celsius,
+    /// Core-to-ambient thermal resistance (K/W).
+    pub r_to_ambient: f64,
+    /// Core thermal capacitance (J/K).
+    pub capacitance: f64,
+    /// Core-to-core lateral conductance (W/K); applied between all pairs.
+    pub lateral_conductance: f64,
+}
+
+impl Default for ThermalConfig {
+    fn default() -> Self {
+        ThermalConfig {
+            ambient: Celsius(45.0),
+            r_to_ambient: 8.0,
+            capacitance: 0.04,
+            lateral_conductance: 0.05,
+        }
+    }
+}
+
+/// The thermal state of the die.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalModel {
+    config: ThermalConfig,
+    temps: Vec<f64>,
+}
+
+impl ThermalModel {
+    /// Creates a model with all cores at ambient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::BadParameter`] for non-positive R/C or
+    /// [`SysError::EmptyPlatform`] for zero cores.
+    pub fn new(n_cores: usize, config: ThermalConfig) -> Result<Self, SysError> {
+        if n_cores == 0 {
+            return Err(SysError::EmptyPlatform("thermal nodes"));
+        }
+        if !(config.r_to_ambient > 0.0) {
+            return Err(SysError::BadParameter {
+                what: "r_to_ambient",
+                value: config.r_to_ambient,
+            });
+        }
+        if !(config.capacitance > 0.0) {
+            return Err(SysError::BadParameter {
+                what: "capacitance",
+                value: config.capacitance,
+            });
+        }
+        if config.lateral_conductance < 0.0 {
+            return Err(SysError::BadParameter {
+                what: "lateral_conductance",
+                value: config.lateral_conductance,
+            });
+        }
+        let ambient = config.ambient.value();
+        Ok(ThermalModel {
+            config,
+            temps: vec![ambient; n_cores],
+        })
+    }
+
+    /// Current temperature of a core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn temperature(&self, core: usize) -> Celsius {
+        Celsius(self.temps[core])
+    }
+
+    /// All core temperatures.
+    #[must_use]
+    pub fn temperatures(&self) -> Vec<Celsius> {
+        self.temps.iter().map(|&t| Celsius(t)).collect()
+    }
+
+    /// Hottest core temperature.
+    #[must_use]
+    pub fn peak(&self) -> Celsius {
+        Celsius(self.temps.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+    }
+
+    /// Advances the network by `dt_ms` under the given per-core power draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power.len()` differs from the core count.
+    pub fn step(&mut self, power: &[Watts], dt_ms: f64) {
+        assert_eq!(power.len(), self.temps.len(), "power vector length");
+        let dt = dt_ms / 1000.0;
+        let ambient = self.config.ambient.value();
+        let n = self.temps.len();
+        let mut dtemps = vec![0.0f64; n];
+        for i in 0..n {
+            let mut q = power[i].value() - (self.temps[i] - ambient) / self.config.r_to_ambient;
+            for j in 0..n {
+                if i != j {
+                    q += self.config.lateral_conductance * (self.temps[j] - self.temps[i]);
+                }
+            }
+            dtemps[i] = q * dt / self.config.capacitance;
+        }
+        for (t, d) in self.temps.iter_mut().zip(&dtemps) {
+            *t += d;
+        }
+    }
+
+    /// Steady-state temperature of a single isolated core at constant power.
+    #[must_use]
+    pub fn steady_state(&self, power: Watts) -> Celsius {
+        Celsius(self.config.ambient.value() + power.value() * self.config.r_to_ambient)
+    }
+}
+
+/// Counts thermal cycles in a temperature trace with a simple peak-valley
+/// (rainflow-lite) detector: a cycle is a valley→peak→valley excursion with
+/// amplitude above `threshold_k`. Returns `(count, mean_amplitude_k)`.
+#[must_use]
+pub fn count_thermal_cycles(trace: &[f64], threshold_k: f64) -> (usize, f64) {
+    if trace.len() < 3 {
+        return (0, 0.0);
+    }
+    // Extract turning points.
+    let mut extrema = vec![trace[0]];
+    for w in trace.windows(3) {
+        let (a, b, c) = (w[0], w[1], w[2]);
+        if (b > a && b >= c) || (b < a && b <= c) {
+            extrema.push(b);
+        }
+    }
+    extrema.push(*trace.last().expect("non-empty"));
+    let mut count = 0usize;
+    let mut amp_sum = 0.0;
+    for pair in extrema.windows(2) {
+        let amp = (pair[1] - pair[0]).abs();
+        if amp >= threshold_k {
+            count += 1;
+            amp_sum += amp;
+        }
+    }
+    // Two half-cycles make a full cycle.
+    let full = count / 2;
+    #[allow(clippy::cast_precision_loss)]
+    let mean_amp = if count == 0 { 0.0 } else { amp_sum / count as f64 };
+    (full, mean_amp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heats_under_power_and_cools_idle() {
+        let mut m = ThermalModel::new(1, ThermalConfig::default()).unwrap();
+        let p = [Watts(2.0)];
+        for _ in 0..5000 {
+            m.step(&p, 1.0);
+        }
+        let hot = m.temperature(0).value();
+        let ss = m.steady_state(Watts(2.0)).value();
+        assert!((hot - ss).abs() < 1.0, "hot {hot} vs steady {ss}");
+        for _ in 0..5000 {
+            m.step(&[Watts(0.0)], 1.0);
+        }
+        let cooled = m.temperature(0).value();
+        assert!((cooled - 45.0).abs() < 1.0, "cooled {cooled}");
+    }
+
+    #[test]
+    fn lateral_coupling_shares_heat() {
+        let mut m = ThermalModel::new(2, ThermalConfig::default()).unwrap();
+        for _ in 0..3000 {
+            m.step(&[Watts(3.0), Watts(0.0)], 1.0);
+        }
+        let t0 = m.temperature(0).value();
+        let t1 = m.temperature(1).value();
+        assert!(t0 > t1, "powered core hotter");
+        assert!(t1 > 45.5, "idle neighbour warmed by coupling: {t1}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ThermalModel::new(0, ThermalConfig::default()).is_err());
+        let bad = ThermalConfig {
+            r_to_ambient: 0.0,
+            ..ThermalConfig::default()
+        };
+        assert!(ThermalModel::new(1, bad).is_err());
+        let bad_c = ThermalConfig {
+            capacitance: -1.0,
+            ..ThermalConfig::default()
+        };
+        assert!(ThermalModel::new(1, bad_c).is_err());
+    }
+
+    #[test]
+    fn peak_reports_hottest() {
+        let mut m = ThermalModel::new(3, ThermalConfig::default()).unwrap();
+        for _ in 0..2000 {
+            m.step(&[Watts(0.5), Watts(4.0), Watts(1.0)], 1.0);
+        }
+        assert!((m.peak().value() - m.temperature(1).value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thermal_cycle_counter() {
+        // A clean triangle wave: 4 full excursions of amplitude 20.
+        let mut trace = Vec::new();
+        for _ in 0..4 {
+            for i in 0..10 {
+                trace.push(50.0 + 2.0 * f64::from(i));
+            }
+            for i in 0..10 {
+                trace.push(70.0 - 2.0 * f64::from(i));
+            }
+        }
+        let (count, amp) = count_thermal_cycles(&trace, 5.0);
+        assert!(count >= 3 && count <= 5, "count {count}");
+        assert!((amp - 20.0).abs() < 3.0, "amplitude {amp}");
+        // Flat trace: no cycles.
+        let flat = vec![60.0; 100];
+        assert_eq!(count_thermal_cycles(&flat, 5.0).0, 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Architecture-level walkthrough (paper Sec. III): run a fault-injection
+//! campaign on a real workload, train an SVM to spot vulnerable
+//! instructions, and protect only those.
+//!
+//! Run with: `cargo run --release --example fault_injection_campaign`
+
+use lori::arch::cpu::{CpuConfig, Protection};
+use lori::arch::fault::{random_register_campaign, Outcome};
+use lori::arch::predict::instruction_sdc_dataset;
+use lori::arch::protect::evaluate_protection;
+use lori::arch::workload;
+use lori::ml::svm::{LinearSvm, SvmConfig};
+use lori::ml::traits::Classifier;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = workload::matmul();
+    let cfg = CpuConfig::default();
+
+    // 1. Baseline campaign: how vulnerable is the unprotected kernel?
+    let campaign = random_register_campaign(&program, &cfg, &Protection::none(), 1000, 1)?;
+    println!("unprotected {} ({} trials):", program.name, campaign.counts.total());
+    for outcome in Outcome::ALL {
+        println!(
+            "  {:<9} {:>6.1} %",
+            outcome.label(),
+            campaign.counts.fraction(outcome) * 100.0
+        );
+    }
+
+    // 2. Learn which instructions are SDC-prone and protect only those.
+    let ds = instruction_sdc_dataset(&program, &cfg, 16, 0.15, 2)?;
+    let selection: Vec<usize> = match LinearSvm::fit(&ds, &SvmConfig::default()) {
+        Ok(svm) => (0..program.len())
+            .filter(|&i| svm.predict(&ds.features()[i]) == 1)
+            .collect(),
+        Err(_) => (0..program.len())
+            .filter(|&i| ds.class_targets()[i] == 1)
+            .collect(),
+    };
+    println!(
+        "\nSVM selected {} of {} instructions for replication",
+        selection.len(),
+        program.len()
+    );
+
+    // 3. Compare the three protection levels.
+    for (name, prot) in [
+        ("none", Protection::none()),
+        (
+            "selective",
+            Protection::for_instructions(&program, selection.iter().copied())?,
+        ),
+        ("full DMR", Protection::full(&program)),
+    ] {
+        let report = evaluate_protection(&program, &cfg, &prot, 600, 3)?;
+        println!(
+            "{name:<10} slowdown {:>5.1} %   SDC {:>4.1} %   detection {:>5.1} %",
+            report.overhead() * 100.0,
+            report.sdc_rate() * 100.0,
+            report.detection_rate() * 100.0
+        );
+    }
+    Ok(())
+}

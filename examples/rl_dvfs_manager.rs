@@ -1,0 +1,64 @@
+//! System-level walkthrough (paper Sec. IV, Fig. 1): train a Q-learning
+//! DVFS manager on the multicore reliability simulator and compare it with
+//! static governors.
+//!
+//! Run with: `cargo run --release --example rl_dvfs_manager`
+
+use lori::core::mgmt::{evaluate, train, Agent, Environment, Transition};
+use lori::core::Rng;
+use lori::ml::rl::{QLearning, RlConfig};
+use lori::sys::manager::{DvfsEnvConfig, DvfsEnvironment};
+use lori::sys::platform::{CoreKind, Platform};
+use lori::sys::sched::{Mapping, SimConfig};
+use lori::sys::task::generate_task_set;
+
+struct Static(usize);
+impl Agent for Static {
+    fn act(&mut self, _s: usize) -> usize {
+        self.0
+    }
+    fn best_action(&self, _s: usize) -> usize {
+        self.0
+    }
+    fn learn(&mut self, _s: usize, _a: usize, _t: &Transition) {}
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = Platform::homogeneous(CoreKind::Little, 2)?;
+    let mut rng = Rng::from_seed(1);
+    let tasks = generate_task_set(6, 0.8, 1.6e6, (10.0, 60.0), &mut rng)?;
+    let mapping = Mapping::round_robin(tasks.len(), 2);
+    let mut env = DvfsEnvironment::new(
+        platform,
+        tasks,
+        mapping,
+        SimConfig::default(),
+        DvfsEnvConfig::default(),
+    )?;
+
+    println!(
+        "state space: {} states (temperature × utilization bins), {} V-f actions",
+        env.state_count(),
+        env.action_count()
+    );
+
+    let mut agent = QLearning::new(env.state_count(), env.action_count(), RlConfig::default())?;
+    println!("training the Fig.-1 loop for 120 episodes...");
+    let report = train(&mut env, &mut agent, 120, 40);
+    println!(
+        "episode reward: first-10 mean {:.1} -> last-10 mean {:.1}",
+        report.episode_rewards.iter().take(10).sum::<f64>() / 10.0,
+        report.recent_mean_reward(10)
+    );
+
+    println!("\npolicy comparison (mean episode reward, greedy evaluation):");
+    println!("  learned manager : {:8.1}", evaluate(&mut env, &agent, 5, 40));
+    for level in 0..env.action_count() {
+        println!(
+            "  static level {}  : {:8.1}",
+            level,
+            evaluate(&mut env, &Static(level), 5, 40)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Circuit-level walkthrough (paper Sec. II): characterize a standard-cell
+//! library with the golden engine, extract per-instance self-heating with
+//! the Fig.-3 delay-slot trick, train the ML characterizer, and compare
+//! guardbands.
+//!
+//! Run with: `cargo run --release --example she_guardband`
+
+use lori::circuit::characterize::{characterize_library, Corner};
+use lori::circuit::flow::{run_she_flow, SheFlowConfig};
+use lori::circuit::mlchar::{MlCharConfig, MlCharacterizer};
+use lori::circuit::netlist::ripple_carry_adder;
+use lori::circuit::spicelike::GoldenSimulator;
+use lori::circuit::tech::TechParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sim = GoldenSimulator::new(TechParams::default())?;
+    println!("characterizing the 60-cell library (slow golden engine)...");
+    let lib = characterize_library(&sim, &Corner::default())?;
+
+    let adder = ripple_carry_adder(&lib, 16)?;
+    println!(
+        "16-bit ripple-carry adder: {} instances",
+        adder.instance_count()
+    );
+
+    println!("training ML characterizer on the cells the adder uses...");
+    let ml = MlCharacterizer::train_for_netlist(
+        &sim,
+        &lib,
+        &adder,
+        &MlCharConfig {
+            samples_per_cell: 150,
+            ..MlCharConfig::default()
+        },
+    )?;
+
+    let report = run_she_flow(&sim, &lib, &adder, &ml, &SheFlowConfig::default())?;
+    let max_she = report
+        .instance_she_k
+        .iter()
+        .copied()
+        .fold(0.0f64, f64::max);
+    println!("hottest instance self-heating: {max_she:.1} K above chip temperature");
+    println!(
+        "nominal critical path:       {:8.1} ps",
+        report.nominal.max_arrival_ps
+    );
+    println!(
+        "per-instance accurate path:  {:8.1} ps  (guardband {:+.1} ps)",
+        report.accurate.max_arrival_ps,
+        report.accurate_guardband().margin_ps()
+    );
+    println!(
+        "worst-case corner path:      {:8.1} ps  (guardband {:+.1} ps)",
+        report.worst_case.max_arrival_ps,
+        report.worst_case_guardband().margin_ps()
+    );
+    println!(
+        "pessimism avoided by the per-instance flow: {:.0} %",
+        report.pessimism_reduction() * 100.0
+    );
+    Ok(())
+}

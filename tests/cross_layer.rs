@@ -1,0 +1,115 @@
+//! Cross-crate integration tests: each test exercises a pipeline spanning
+//! at least two LORI layers, mirroring the paper's cross-layer story.
+
+use lori::arch::cpu::CpuConfig;
+use lori::arch::predict::ff_vulnerability_dataset;
+use lori::arch::workload;
+use lori::circuit::aging::{AgingModel, StressProfile};
+use lori::circuit::characterize::{characterize_library, Corner};
+use lori::circuit::mlchar::{MlCharConfig, MlCharacterizer};
+use lori::circuit::netlist::ripple_carry_adder;
+use lori::circuit::spicelike::GoldenSimulator;
+use lori::circuit::sta::{run_sta, run_sta_with_overrides, StaConfig};
+use lori::circuit::tech::TechParams;
+use lori::core::units::{Celsius, Seconds};
+use lori::core::Rng;
+use lori::hdc::regressor::{HdcRegressor, HdcRegressorConfig};
+use lori::ml::knn::Knn;
+use lori::ml::metrics::accuracy;
+use lori::ml::traits::Classifier;
+
+/// Circuit → ML: the ML characterizer's instance-specific timings drive STA
+/// and land close to the library-based result in the fresh/cool context.
+#[test]
+fn mlchar_sta_pipeline_matches_library_sta() {
+    let sim = GoldenSimulator::new(TechParams::default()).expect("tech");
+    let corner = Corner {
+        chip_temperature: Celsius(65.0),
+        ..Corner::default()
+    };
+    let lib = characterize_library(&sim, &corner).expect("library");
+    let adder = ripple_carry_adder(&lib, 8).expect("netlist");
+    let cfg = StaConfig::default();
+    let base = run_sta(&adder, &lib, &cfg).expect("sta");
+
+    let ml = MlCharacterizer::train_for_netlist(
+        &sim,
+        &lib,
+        &adder,
+        &MlCharConfig {
+            samples_per_cell: 120,
+            ..MlCharConfig::default()
+        },
+    )
+    .expect("training");
+    // Fresh, SHE-free context per instance from the base STA run.
+    let contexts: Vec<lori::circuit::mlchar::InstanceContext> = (0..adder.instance_count())
+        .map(|i| lori::circuit::mlchar::InstanceContext {
+            slew_ps: base.instance_input_slew_ps[i],
+            load_ff: base.instance_load_ff[i],
+            delta_t_k: 0.0,
+            delta_vth_v: 0.0,
+        })
+        .collect();
+    let overrides = ml.generate_instance_library(&adder, &contexts).expect("overrides");
+    let ml_sta = run_sta_with_overrides(&adder, &lib, &cfg, &overrides).expect("sta");
+    let rel = (ml_sta.max_arrival_ps - base.max_arrival_ps).abs() / base.max_arrival_ps;
+    assert!(
+        rel < 0.15,
+        "ML-driven STA {} ps vs library STA {} ps (rel {rel})",
+        ml_sta.max_arrival_ps,
+        base.max_arrival_ps
+    );
+}
+
+/// Circuit → HDC: the HDC regressor mimics the aging model well enough to
+/// rank stress conditions.
+#[test]
+fn hdc_mimics_aging_model_ordering() {
+    let physics = AgingModel::default();
+    let mut rng = Rng::from_seed(1);
+    let sample = |rng: &mut Rng| -> (Vec<f64>, f64) {
+        let duty = rng.uniform_in(0.1, 0.9);
+        let act = rng.uniform_in(0.05, 0.6);
+        let temp = rng.uniform_in(40.0, 120.0);
+        let stress = StressProfile::new(duty, act, Celsius(temp)).expect("stress");
+        let y = physics
+            .delta_vth(&stress, Seconds::from_years(5.0))
+            .value();
+        (vec![duty, act, temp], y)
+    };
+    let (xs, ys): (Vec<_>, Vec<_>) = (0..1500).map(|_| sample(&mut rng)).unzip();
+    let model = HdcRegressor::fit(&xs, &ys, &HdcRegressorConfig::default()).expect("fit");
+    // Mild vs harsh stress must be ordered correctly by the mimic.
+    let mild = model.predict(&[0.15, 0.1, 45.0]);
+    let harsh = model.predict(&[0.85, 0.5, 115.0]);
+    assert!(
+        harsh > mild * 1.2,
+        "mimic failed to rank stress: mild {mild}, harsh {harsh}"
+    );
+}
+
+/// Arch → ML: the end-to-end ref-[20] style pipeline — injections build a
+/// dataset, a kNN trained on 20 % predicts the rest above the majority
+/// baseline.
+#[test]
+fn injection_to_prediction_pipeline() {
+    let programs = [workload::fibonacci(), workload::checksum()];
+    let ds = ff_vulnerability_dataset(&programs, &CpuConfig::default(), 3, 0.0, 2)
+        .expect("dataset");
+    let mut rng = Rng::from_seed(3);
+    let (train, test) = ds.split(0.2, &mut rng).expect("split");
+    let knn = Knn::fit(&train, 5).expect("knn");
+    let truth = test.class_targets();
+    let acc = accuracy(&truth, &knn.predict_batch(test.features())).expect("metric");
+    #[allow(clippy::cast_precision_loss)]
+    let majority = {
+        let ones = truth.iter().filter(|&&c| c == 1).count() as f64 / truth.len() as f64;
+        ones.max(1.0 - ones)
+    };
+    assert!(
+        acc >= majority,
+        "accuracy {acc} below majority baseline {majority}"
+    );
+    assert!(acc > 0.7, "accuracy {acc} too low to be useful");
+}
