@@ -217,7 +217,11 @@ impl Cpu {
         // pc already points at the *next* instruction when this is called.
         if taken {
             let target = self.pc as i64 + i64::from(offset);
-            self.pc = if target < 0 { usize::MAX } else { target as usize };
+            self.pc = if target < 0 {
+                usize::MAX
+            } else {
+                target as usize
+            };
         }
     }
 
@@ -306,10 +310,12 @@ impl Cpu {
                 alu!(rd, |r: &[u32; NUM_REGS]| r[a.index()] ^ r[b.index()]);
             }
             Instr::Sll(rd, a, b) => {
-                alu!(rd, |r: &[u32; NUM_REGS]| r[a.index()] << (r[b.index()] & 31));
+                alu!(rd, |r: &[u32; NUM_REGS]| r[a.index()]
+                    << (r[b.index()] & 31));
             }
             Instr::Srl(rd, a, b) => {
-                alu!(rd, |r: &[u32; NUM_REGS]| r[a.index()] >> (r[b.index()] & 31));
+                alu!(rd, |r: &[u32; NUM_REGS]| r[a.index()]
+                    >> (r[b.index()] & 31));
             }
             Instr::Addi(rd, a, imm) => {
                 alu!(rd, |r: &[u32; NUM_REGS]| r[a.index()]
@@ -439,11 +445,11 @@ mod tests {
         let p = Program::new(
             "loop",
             vec![
-                Instr::Addi(r(1), r(0), 5),  // counter
-                Instr::Addi(r(2), r(0), 0),  // acc
+                Instr::Addi(r(1), r(0), 5),   // counter
+                Instr::Addi(r(2), r(0), 0),   // acc
                 Instr::Add(r(2), r(2), r(1)), // L: acc += counter
                 Instr::Addi(r(1), r(1), -1),
-                Instr::Bne(r(1), r(0), -3),  // loop while counter != 0 (r0 == 0)
+                Instr::Bne(r(1), r(0), -3), // loop while counter != 0 (r0 == 0)
                 Instr::St(r(2), r(0), 0),
                 Instr::Halt,
             ],
@@ -460,7 +466,11 @@ mod tests {
     fn out_of_bounds_crashes() {
         let p = Program::new(
             "oob",
-            vec![Instr::Addi(r(1), r(0), 100_000), Instr::Ld(r(2), r(1), 0), Instr::Halt],
+            vec![
+                Instr::Addi(r(1), r(0), 100_000),
+                Instr::Ld(r(2), r(1), 0),
+                Instr::Halt,
+            ],
             vec![0],
             0..1,
         )
@@ -557,7 +567,10 @@ mod tests {
         let dmr = Cpu::new(&p, &cfg).run(&p, &Protection::full(&p));
         assert_eq!(dmr.stop, StopReason::Halted);
         assert!(dmr.cycles > plain.cycles);
-        assert_eq!(dmr.digest, plain.digest, "protection must not change results");
+        assert_eq!(
+            dmr.digest, plain.digest,
+            "protection must not change results"
+        );
     }
 
     #[test]

@@ -272,7 +272,13 @@ pub fn per_register_vulnerability(
                 },
                 cycle: rng.below(golden.cycles.max(1)),
             };
-            counts.record(run_with_fault(program, config, &protection, &golden, &fault));
+            counts.record(run_with_fault(
+                program,
+                config,
+                &protection,
+                &golden,
+                &fault,
+            ));
         }
         result.push(counts.vulnerability());
     }
@@ -369,10 +375,8 @@ mod tests {
     fn protection_converts_sdc_to_detected() {
         let p = workload::dot_product();
         let cfg = CpuConfig::default();
-        let unprotected =
-            random_register_campaign(&p, &cfg, &Protection::none(), 300, 2).unwrap();
-        let protected =
-            random_register_campaign(&p, &cfg, &Protection::full(&p), 300, 2).unwrap();
+        let unprotected = random_register_campaign(&p, &cfg, &Protection::none(), 300, 2).unwrap();
+        let protected = random_register_campaign(&p, &cfg, &Protection::full(&p), 300, 2).unwrap();
         assert!(protected.counts.count(Outcome::Detected) > 0);
         assert!(
             protected.counts.fraction(Outcome::Sdc) < unprotected.counts.fraction(Outcome::Sdc),

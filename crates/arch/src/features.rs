@@ -246,7 +246,11 @@ mod tests {
             assert_eq!(feat.has_dest > 0.5, instr.dest().is_some());
         }
         // The store itself has distance 0 to the next store.
-        let store_idx = p.instrs.iter().position(crate::isa::Instr::is_store).unwrap();
+        let store_idx = p
+            .instrs
+            .iter()
+            .position(crate::isa::Instr::is_store)
+            .unwrap();
         assert_eq!(f[store_idx].dist_to_store, 0.0);
     }
 

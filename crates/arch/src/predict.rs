@@ -45,7 +45,7 @@ pub fn ff_vulnerability_dataset(
         let golden = crate::cpu::run_golden(program, config);
         let feats = register_features(program, config);
         let protection = Protection::none();
-        for reg_idx in 0..NUM_REGS {
+        for (reg_idx, feat) in feats.iter().enumerate().take(NUM_REGS) {
             for bit in 0..32u8 {
                 let mut vulnerable = 0usize;
                 for _ in 0..trials_per_ff {
@@ -63,7 +63,7 @@ pub fn ff_vulnerability_dataset(
                 }
                 #[allow(clippy::cast_precision_loss)]
                 let frac = vulnerable as f64 / trials_per_ff as f64;
-                let mut row = feats[reg_idx].to_row();
+                let mut row = feat.to_row();
                 row.push(f64::from(bit) / 31.0);
                 rows.push(row);
                 labels.push(f64::from(u8::from(frac > vuln_threshold)));
@@ -87,7 +87,10 @@ pub fn instruction_sdc_dataset(
 ) -> Result<Dataset, ArchError> {
     let sdc = crate::fault::per_instruction_sdc(program, config, trials_per_instr, seed)?;
     let feats = instruction_features(program);
-    let rows: Vec<Vec<f64>> = feats.iter().map(super::features::InstructionFeatures::to_row).collect();
+    let rows: Vec<Vec<f64>> = feats
+        .iter()
+        .map(super::features::InstructionFeatures::to_row)
+        .collect();
     let labels: Vec<f64> = sdc
         .iter()
         .map(|&f| f64::from(u8::from(f > sdc_threshold)))
@@ -106,14 +109,13 @@ mod tests {
     #[test]
     fn ff_dataset_shape() {
         let programs = [workload::fibonacci()];
-        let ds =
-            ff_vulnerability_dataset(&programs, &CpuConfig::default(), 2, 0.0, 1).unwrap();
+        let ds = ff_vulnerability_dataset(&programs, &CpuConfig::default(), 2, 0.0, 1).unwrap();
         assert_eq!(ds.len(), NUM_REGS * 32);
         assert_eq!(ds.n_features(), 7);
         // Both classes should appear (dead vs loop-carried registers).
         let classes = ds.class_targets();
-        assert!(classes.iter().any(|&c| c == 0));
-        assert!(classes.iter().any(|&c| c == 1));
+        assert!(classes.contains(&0));
+        assert!(classes.contains(&1));
     }
 
     #[test]
@@ -121,8 +123,7 @@ mod tests {
         // Miniature version of E7: train a kNN on 20 % of flip-flops and
         // check it beats the majority-class baseline on the rest.
         let programs = [workload::fibonacci(), workload::dot_product()];
-        let ds =
-            ff_vulnerability_dataset(&programs, &CpuConfig::default(), 3, 0.0, 2).unwrap();
+        let ds = ff_vulnerability_dataset(&programs, &CpuConfig::default(), 3, 0.0, 2).unwrap();
         let mut rng = lori_core::Rng::from_seed(3);
         let (train, test) = ds.split(0.2, &mut rng).unwrap();
         let knn = Knn::fit(&train, 5).unwrap();
@@ -151,16 +152,7 @@ mod tests {
     #[test]
     fn zero_trials_rejected() {
         let programs = [workload::fibonacci()];
-        assert!(
-            ff_vulnerability_dataset(&programs, &CpuConfig::default(), 0, 0.0, 1).is_err()
-        );
-        assert!(instruction_sdc_dataset(
-            &programs[0],
-            &CpuConfig::default(),
-            0,
-            0.2,
-            1
-        )
-        .is_err());
+        assert!(ff_vulnerability_dataset(&programs, &CpuConfig::default(), 0, 0.0, 1).is_err());
+        assert!(instruction_sdc_dataset(&programs[0], &CpuConfig::default(), 0, 0.2, 1).is_err());
     }
 }

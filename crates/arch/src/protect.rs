@@ -76,8 +76,7 @@ pub fn evaluate_protection(
     }
     let baseline = crate::cpu::run_golden(program, config);
     let protected_golden = Cpu::new(program, config).run(program, protection);
-    let campaign =
-        crate::fault::random_register_campaign(program, config, protection, n, seed)?;
+    let campaign = crate::fault::random_register_campaign(program, config, protection, n, seed)?;
     Ok(ProtectionReport {
         counts: campaign.counts,
         baseline_cycles: baseline.cycles,
@@ -213,8 +212,7 @@ mod tests {
     fn full_protection_has_high_overhead_and_high_detection() {
         let p = workload::dot_product();
         let cfg = CpuConfig::default();
-        let report =
-            evaluate_protection(&p, &cfg, &Protection::full(&p), 300, 1).unwrap();
+        let report = evaluate_protection(&p, &cfg, &Protection::full(&p), 300, 1).unwrap();
         assert!(report.overhead() > 0.3, "overhead {}", report.overhead());
         assert!(
             report.detection_rate() > 0.5,
@@ -227,8 +225,7 @@ mod tests {
     fn no_protection_has_zero_overhead() {
         let p = workload::dot_product();
         let cfg = CpuConfig::default();
-        let report =
-            evaluate_protection(&p, &cfg, &Protection::none(), 100, 2).unwrap();
+        let report = evaluate_protection(&p, &cfg, &Protection::none(), 100, 2).unwrap();
         assert_eq!(report.overhead(), 0.0);
         assert_eq!(report.counts.count(Outcome::Detected), 0);
     }

@@ -11,7 +11,13 @@ use crate::isa::{r, Instr, Program};
 /// All built-in workloads.
 #[must_use]
 pub fn all() -> Vec<Program> {
-    vec![matmul(), bubble_sort(), checksum(), dot_product(), fibonacci()]
+    vec![
+        matmul(),
+        bubble_sort(),
+        checksum(),
+        dot_product(),
+        fibonacci(),
+    ]
 }
 
 /// 3×3 integer matrix multiply: `C = A × B`.
@@ -48,23 +54,23 @@ pub fn matmul() -> Program {
 pub fn bubble_sort() -> Program {
     // r1 = i (outer), r2 = j (inner), r3/r4 = elements, r5 = n-1
     let instrs = vec![
-        Instr::Addi(r(5), r(0), 9),   // n-1
-        Instr::Addi(r(1), r(0), 0),   // i = 0
+        Instr::Addi(r(5), r(0), 9), // n-1
+        Instr::Addi(r(1), r(0), 0), // i = 0
         // outer: if i == n-1 goto done
-        Instr::Beq(r(1), r(5), 11),   // -> done
-        Instr::Addi(r(2), r(0), 0),   // j = 0
+        Instr::Beq(r(1), r(5), 11), // -> done
+        Instr::Addi(r(2), r(0), 0), // j = 0
         // inner: if j == n-1-i ... simplify: j == n-1 -> next_outer
-        Instr::Beq(r(2), r(5), 7),    // -> next outer
-        Instr::Ld(r(3), r(2), 0),     // a[j]
-        Instr::Ld(r(4), r(2), 1),     // a[j+1]
-        Instr::Blt(r(3), r(4), 2),    // in order -> skip swap
+        Instr::Beq(r(2), r(5), 7), // -> next outer
+        Instr::Ld(r(3), r(2), 0),  // a[j]
+        Instr::Ld(r(4), r(2), 1),  // a[j+1]
+        Instr::Blt(r(3), r(4), 2), // in order -> skip swap
         Instr::St(r(4), r(2), 0),
         Instr::St(r(3), r(2), 1),
-        Instr::Addi(r(2), r(2), 1),   // j++
-        Instr::Jmp(-8),               // -> inner
-        Instr::Addi(r(1), r(1), 1),   // i++
-        Instr::Jmp(-12),              // -> outer
-        Instr::Halt,                  // done
+        Instr::Addi(r(2), r(2), 1), // j++
+        Instr::Jmp(-8),             // -> inner
+        Instr::Addi(r(1), r(1), 1), // i++
+        Instr::Jmp(-12),            // -> outer
+        Instr::Halt,                // done
     ];
     let data = vec![9, 3, 7, 1, 8, 2, 6, 0, 5, 4];
     Program::new("bubble_sort10", instrs, data, 0..10).expect("non-empty")

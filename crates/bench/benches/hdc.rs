@@ -41,10 +41,7 @@ fn bench_hdc(c: &mut Criterion) {
     let xs: Vec<Vec<f64>> = (0..300)
         .map(|_| vec![rng.uniform_in(0.0, 1.0), rng.uniform_in(0.0, 1.0)])
         .collect();
-    let ys: Vec<usize> = xs
-        .iter()
-        .map(|x| usize::from(x[0] + x[1] > 1.0))
-        .collect();
+    let ys: Vec<usize> = xs.iter().map(|x| usize::from(x[0] + x[1] > 1.0)).collect();
     let clf = HdcClassifier::fit(&xs, &ys, &HdcClassifierConfig::default()).expect("training");
     c.bench_function("hdc_classify_query", |b| {
         b.iter(|| clf.predict(black_box(&[0.3, 0.8])));

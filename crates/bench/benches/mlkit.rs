@@ -80,8 +80,8 @@ fn bench_mlkit(c: &mut Criterion) {
     c.bench_function("predict_forest", |b| {
         b.iter(|| forest.predict(black_box(&query)));
     });
-    let gbt = GradientBoostRegressor::fit(&reg_train, &GradientBoostConfig::default())
-        .expect("fit");
+    let gbt =
+        GradientBoostRegressor::fit(&reg_train, &GradientBoostConfig::default()).expect("fit");
     c.bench_function("predict_gbt", |b| {
         b.iter(|| gbt.predict(black_box(&query)));
     });

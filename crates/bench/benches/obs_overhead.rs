@@ -1,0 +1,59 @@
+//! Measures the observability tax on the hottest instrumented loop: the
+//! Monte Carlo sweep of `lori-ftsched`.
+//!
+//! Three configurations:
+//!
+//! - `uninstrumented_baseline` — the sweep with no recorder installed (the
+//!   shipping default: every span is a single relaxed atomic load);
+//! - `null_recorder` — a [`lori_obs::NullRecorder`] explicitly installed,
+//!   which must behave identically to no recorder;
+//! - `memory_recorder` — a real recorder sink, to show what full event
+//!   capture costs for scale.
+//!
+//! Acceptance target: the NullRecorder configurations regress < 2 % vs
+//! the baseline — i.e. their medians are statistically indistinguishable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lori_ftsched::montecarlo::{sweep, SweepConfig};
+use lori_ftsched::workload::adpcm_reference_trace;
+use std::sync::Arc;
+
+fn sweep_once() {
+    let trace = adpcm_reference_trace();
+    let config = SweepConfig {
+        runs: 10,
+        ..SweepConfig::default()
+    };
+    let points = sweep(&[1e-6, 1e-5], &trace, &config).expect("sweep");
+    criterion::black_box(points);
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+
+    lori_obs::uninstall();
+    group.bench_with_input(
+        BenchmarkId::new("sweep", "uninstrumented_baseline"),
+        &(),
+        |b, ()| b.iter(sweep_once),
+    );
+
+    lori_obs::install(Arc::new(lori_obs::NullRecorder));
+    group.bench_with_input(BenchmarkId::new("sweep", "null_recorder"), &(), |b, ()| {
+        b.iter(sweep_once)
+    });
+    lori_obs::uninstall();
+
+    lori_obs::install(Arc::new(lori_obs::MemoryRecorder::new()));
+    group.bench_with_input(
+        BenchmarkId::new("sweep", "memory_recorder"),
+        &(),
+        |b, ()| b.iter(sweep_once),
+    );
+    lori_obs::uninstall();
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -17,34 +17,29 @@ fn bench_syssim(c: &mut Criterion) {
     for cores in [2usize, 4, 8] {
         let platform = Platform::homogeneous(CoreKind::Little, cores).expect("platform");
         let mut rng = Rng::from_seed(1);
-        let tasks =
-            generate_task_set(cores * 3, 0.5 * cores as f64, 1.6e6, (10.0, 60.0), &mut rng)
-                .expect("tasks");
+        let tasks = generate_task_set(cores * 3, 0.5 * cores as f64, 1.6e6, (10.0, 60.0), &mut rng)
+            .expect("tasks");
         let mapping = Mapping::round_robin(tasks.len(), cores);
-        group.bench_with_input(
-            BenchmarkId::new("simulate_1s", cores),
-            &cores,
-            |b, _| {
-                b.iter(|| {
-                    let mut sim = Simulator::new(
-                        platform.clone(),
-                        tasks.clone(),
-                        mapping.clone(),
-                        SimConfig {
-                            governor: Governor::OnDemand {
-                                up: 0.8,
-                                down: 0.3,
-                                epoch_quanta: 10,
-                            },
-                            ..SimConfig::default()
+        group.bench_with_input(BenchmarkId::new("simulate_1s", cores), &cores, |b, _| {
+            b.iter(|| {
+                let mut sim = Simulator::new(
+                    platform.clone(),
+                    tasks.clone(),
+                    mapping.clone(),
+                    SimConfig {
+                        governor: Governor::OnDemand {
+                            up: 0.8,
+                            down: 0.3,
+                            epoch_quanta: 10,
                         },
-                    )
-                    .expect("simulator");
-                    sim.run_for(1000.0);
-                    sim.report()
-                });
-            },
-        );
+                        ..SimConfig::default()
+                    },
+                )
+                .expect("simulator");
+                sim.run_for(1000.0);
+                sim.report()
+            });
+        });
     }
     group.finish();
 

@@ -8,7 +8,7 @@
 use lori_arch::cpu::{Cpu, CpuConfig, Protection};
 use lori_arch::isa::NUM_REGS;
 use lori_arch::workload;
-use lori_bench::{banner, fmt, render_table};
+use lori_bench::{fmt, render_table, Harness};
 use lori_core::Rng;
 use lori_ml::data::{Dataset, StandardScaler};
 use lori_ml::metrics::{f1_score, precision, recall};
@@ -34,7 +34,7 @@ fn snapshots(
             }
         }
         let info = cpu.step(program, &protection);
-        if cycle % stride == 0 {
+        if cycle.is_multiple_of(stride) {
             snaps.push(cpu.reg_snapshot());
         }
         cycle += 1;
@@ -50,15 +50,21 @@ fn to_row(s: &[u32; NUM_REGS]) -> Vec<f64> {
 }
 
 fn main() {
-    banner("E10", "MLP anomaly detection on intermediate register values");
+    let mut h = Harness::new(
+        "exp-anomaly-detection",
+        "E10",
+        "MLP anomaly detection on intermediate register values",
+    );
     let program = workload::checksum();
     let cfg = CpuConfig::default();
     let stride = 4;
+    h.seed(5);
+    h.config("snapshot_stride", stride);
     let mut rng = Rng::from_seed(5);
 
     // Training data: clean snapshots (label 0) + corrupted-run snapshots
     // taken after the corruption (label 1).
-    let clean = snapshots(&program, &cfg, None, stride);
+    let clean = h.phase("collect", || snapshots(&program, &cfg, None, stride));
     let mut rows: Vec<Vec<f64>> = clean.iter().map(to_row).collect();
     let mut labels = vec![0.0; rows.len()];
     let golden_cycles = {
@@ -85,7 +91,7 @@ fn main() {
 
     let mut mlp_cfg = MlpConfig::classifier(2);
     mlp_cfg.hidden = vec![16, 16]; // two hidden layers, as in ref [30]
-    let mlp = Mlp::fit(&train, &mlp_cfg).expect("training");
+    let mlp = h.phase("train", || Mlp::fit(&train, &mlp_cfg).expect("training"));
 
     let truth = test.class_targets();
     let preds = mlp.predict_batch(test.features());
@@ -128,4 +134,9 @@ fn main() {
         )
     );
     println!("claim shape: high recall & precision from a tiny two-hidden-layer MLP.");
+    h.check(
+        "recall above 0.9",
+        recall(&truth, &preds, 1).expect("metric") > 0.9,
+    );
+    h.finish();
 }

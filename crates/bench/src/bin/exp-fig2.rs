@@ -5,7 +5,7 @@
 //! per-instance SHE temperatures spread widely because each instance's
 //! input slew, connected load, and position differ.
 
-use lori_bench::{banner, fmt, render_table};
+use lori_bench::{fmt, render_table, Harness};
 use lori_circuit::characterize::{characterize_library, she_as_delay_library, Corner};
 use lori_circuit::netlist::processor_datapath;
 use lori_circuit::she::SheModel;
@@ -16,13 +16,22 @@ use lori_core::stats::{max, mean, min, percentile, std_dev};
 use std::collections::BTreeMap;
 
 fn main() {
-    banner("E1 / Fig. 2", "Per-instance SHE temperatures in a processor-scale design");
+    let mut h = Harness::new(
+        "exp-fig2",
+        "E1 / Fig. 2",
+        "Per-instance SHE temperatures in a processor-scale design",
+    );
     let sim = GoldenSimulator::new(TechParams::default()).expect("valid tech");
     println!("characterizing 60-cell library (golden transient engine)...");
-    let lib = characterize_library(&sim, &Corner::default()).expect("library");
+    let lib = h.phase("characterize_library", || {
+        characterize_library(&sim, &Corner::default()).expect("library")
+    });
     println!("library: {} cells (paper: 59 distinct cells)", lib.len());
 
     let netlist = processor_datapath(&lib, 16, 42).expect("netlist");
+    h.seed(42);
+    h.config("instances", netlist.instance_count() as u64);
+    h.config("nets", netlist.net_count() as u64);
     println!(
         "netlist: {} instances, {} nets",
         netlist.instance_count(),
@@ -30,8 +39,10 @@ fn main() {
     );
 
     // The Fig.-3 trick: SHE temperatures in the delay slots, conventional STA.
-    let she_lib = she_as_delay_library(&lib, &SheModel::default()).expect("she library");
-    let report = run_sta(&netlist, &she_lib, &StaConfig::default()).expect("sta");
+    let report = h.phase("she_sta", || {
+        let she_lib = she_as_delay_library(&lib, &SheModel::default()).expect("she library");
+        run_sta(&netlist, &she_lib, &StaConfig::default()).expect("sta")
+    });
     let she = &report.instance_delay_ps; // these numbers are ΔT in kelvin
 
     let distinct_cells: std::collections::BTreeSet<&str> = netlist
@@ -54,7 +65,10 @@ fn main() {
     ]];
     println!(
         "{}",
-        render_table(&["min", "p25", "median", "p75", "max", "mean", "std"], &rows)
+        render_table(
+            &["min", "p25", "median", "p75", "max", "mean", "std"],
+            &rows
+        )
     );
 
     // Histogram, the textual analogue of Fig. 2's color map.
@@ -72,7 +86,10 @@ fn main() {
         let left = lo + (hi - lo) * b as f64 / bins as f64;
         let right = lo + (hi - lo) * (b + 1) as f64 / bins as f64;
         let bar = "#".repeat(((count as f64 / peak) * 50.0).round() as usize);
-        println!("  [{:>6.2}, {:>6.2}) K | {:<50} {}", left, right, bar, count);
+        println!(
+            "  [{:>6.2}, {:>6.2}) K | {:<50} {}",
+            left, right, bar, count
+        );
     }
 
     // Per-cell-type spread: same cell, different contexts → different SHE.
@@ -95,6 +112,14 @@ fn main() {
     println!("same cell, different contexts (the Fig. 2 point):");
     println!(
         "{}",
-        render_table(&["cell", "instances", "min SHE (K)", "max SHE (K)"], &spread_rows)
+        render_table(
+            &["cell", "instances", "min SHE (K)", "max SHE (K)"],
+            &spread_rows
+        )
     );
+    h.check(
+        "SHE temperatures spread despite few distinct cells",
+        std_dev(she).expect("non-empty") > 0.0 && distinct_cells.len() < 100,
+    );
+    h.finish();
 }

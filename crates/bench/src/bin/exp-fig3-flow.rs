@@ -7,10 +7,12 @@
 //! library of thousands of cells "within seconds"; the resulting guardbands
 //! are less pessimistic than worst-case corners while remaining safe.
 
-use lori_bench::{banner, fmt, render_table};
+use lori_bench::{fmt, render_table, Harness};
 use lori_circuit::characterize::{characterize_library, Corner};
 use lori_circuit::flow::{run_she_flow, SheFlowConfig};
-use lori_circuit::mlchar::{golden_instance_library, InstanceContext, MlCharConfig, MlCharacterizer};
+use lori_circuit::mlchar::{
+    golden_instance_library, InstanceContext, MlCharConfig, MlCharacterizer,
+};
 use lori_circuit::netlist::processor_datapath;
 use lori_circuit::spicelike::GoldenSimulator;
 use lori_circuit::tech::TechParams;
@@ -18,16 +20,26 @@ use lori_core::units::Celsius;
 use std::time::Instant;
 
 fn main() {
-    banner("E2 / Fig. 3", "SHE flow: ML-based instance-specific characterization");
+    let mut h = Harness::new(
+        "exp-fig3-flow",
+        "E2 / Fig. 3",
+        "SHE flow: ML-based instance-specific characterization",
+    );
     let sim = GoldenSimulator::new(TechParams::default()).expect("valid tech");
-    let lib = characterize_library(&sim, &Corner::default()).expect("library");
+    let lib = h.phase("characterize_library", || {
+        characterize_library(&sim, &Corner::default()).expect("library")
+    });
     let netlist = processor_datapath(&lib, 12, 7).expect("netlist");
+    h.seed(7);
+    h.config("instances", netlist.instance_count() as u64);
     println!("netlist: {} instances", netlist.instance_count());
 
     // Train the ML characterizer on the cells the netlist uses.
     let t0 = Instant::now();
-    let ml = MlCharacterizer::train_for_netlist(&sim, &lib, &netlist, &MlCharConfig::default())
-        .expect("training");
+    let ml = h.phase("ml_training", || {
+        MlCharacterizer::train_for_netlist(&sim, &lib, &netlist, &MlCharConfig::default())
+            .expect("training")
+    });
     let train_time = t0.elapsed();
     println!(
         "ML training: {} cell models in {:.2} s (one-time, per library)",
@@ -47,14 +59,17 @@ fn main() {
 
     // Golden path (what SPICE would have to do).
     let t0 = Instant::now();
-    let golden = golden_instance_library(&sim, &lib, &netlist, &contexts, Celsius(65.0));
+    let golden = h.phase("golden_library", || {
+        golden_instance_library(&sim, &lib, &netlist, &contexts, Celsius(65.0))
+    });
     let golden_time = t0.elapsed();
 
     // ML path.
     let t0 = Instant::now();
-    let predicted = ml
-        .generate_instance_library(&netlist, &contexts)
-        .expect("prediction");
+    let predicted = h.phase("ml_library", || {
+        ml.generate_instance_library(&netlist, &contexts)
+            .expect("prediction")
+    });
     let ml_time = t0.elapsed();
 
     let mut rel_err = 0.0;
@@ -87,15 +102,23 @@ fn main() {
         )
     );
     println!("instance-library generation speedup: {:.0}x", speedup);
+    h.check("ML path is faster than the golden path", speedup > 1.0);
 
     // Full flow: guardbands.
-    let flow = run_she_flow(&sim, &lib, &netlist, &ml, &SheFlowConfig::default()).expect("flow");
+    let flow = h.phase("she_flow", || {
+        run_she_flow(&sim, &lib, &netlist, &ml, &SheFlowConfig::default()).expect("flow")
+    });
     println!();
     println!("guardband analysis (10-year mission, SHE + aging):");
     println!(
         "{}",
         render_table(
-            &["corner", "critical path (ps)", "margin over nominal (ps)", "relative"],
+            &[
+                "corner",
+                "critical path (ps)",
+                "margin over nominal (ps)",
+                "relative"
+            ],
             &[
                 vec![
                     "nominal (fresh, no SHE)".into(),
@@ -122,4 +145,9 @@ fn main() {
         "pessimism reduction vs worst-case corner: {:.1} %",
         flow.pessimism_reduction() * 100.0
     );
+    h.check(
+        "accurate guardband below worst-case corner",
+        flow.pessimism_reduction() > 0.0,
+    );
+    h.finish();
 }

@@ -3,43 +3,66 @@
 //! Paper claims: negligible below 1e-6; rapid growth beyond; more than 10
 //! rollbacks per segment past 1e-5 ("formidable to deal with").
 
-use lori_bench::{banner, fmt, render_table};
+use lori_bench::{fmt, fmt_prob, render_table, Harness};
 use lori_ftsched::montecarlo::{paper_probability_axis, sweep, SweepConfig};
 use lori_ftsched::workload::adpcm_reference_trace;
 
 fn main() {
-    banner("E3 / Fig. 5", "Average rollbacks per segment vs error probability");
+    let mut h = Harness::new(
+        "exp-fig5",
+        "E3 / Fig. 5",
+        "Average rollbacks per segment vs error probability",
+    );
     let trace = adpcm_reference_trace();
     let config = SweepConfig::default(); // 100 Monte Carlo runs per point
-    let points = sweep(&paper_probability_axis(), &trace, &config).expect("sweep");
-    let rows: Vec<Vec<String>> = points
+    h.seed(config.seed);
+    h.config("runs_per_point", config.runs as u64);
+    h.config("trace_segments", trace.len() as u64);
+
+    let axis = paper_probability_axis();
+    h.config("probability_points", axis.len() as u64);
+    let points = h.phase("sweep", || sweep(&axis, &trace, &config).expect("sweep"));
+
+    h.phase("report", || {
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|pt| {
+                vec![
+                    fmt_prob(pt.p),
+                    fmt(pt.avg_rollbacks_per_segment),
+                    fmt(pt.rollbacks_std),
+                    fmt(pt.cycle_overhead),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "p (per cycle)",
+                    "avg rollbacks/segment",
+                    "std",
+                    "cycle overhead"
+                ],
+                &rows
+            )
+        );
+    });
+
+    let at_1e6 = points
         .iter()
-        .map(|pt| {
-            vec![
-                format!("{:.0e}", pt.p),
-                fmt(pt.avg_rollbacks_per_segment),
-                fmt(pt.rollbacks_std),
-                fmt(pt.cycle_overhead),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(
-            &["p (per cycle)", "avg rollbacks/segment", "std", "cycle overhead"],
-            &rows
-        )
-    );
-    let at_1e6 = points.iter().find(|p| (p.p - 1e-6).abs() < 1e-12).expect("1e-6 point");
-    let past_wall = points.iter().find(|p| p.p > 1e-5 && p.avg_rollbacks_per_segment > 10.0);
-    println!("shape checks vs paper:");
-    println!(
-        "  - at p=1e-6 rollbacks are below 1/segment: {} ({})",
+        .find(|p| (p.p - 1e-6).abs() < 1e-12)
+        .expect("1e-6 point");
+    let past_wall = points
+        .iter()
+        .find(|p| p.p > 1e-5 && p.avg_rollbacks_per_segment > 10.0);
+    h.check(
+        "at p=1e-6 rollbacks are below 1/segment",
         at_1e6.avg_rollbacks_per_segment < 1.0,
-        fmt(at_1e6.avg_rollbacks_per_segment)
     );
-    println!(
-        "  - >10 rollbacks/segment occurs past 1e-5: {}",
-        past_wall.map_or("not reached".into(), |p| format!("at p={:.0e}", p.p))
+    h.check(
+        ">10 rollbacks/segment occurs past 1e-5",
+        past_wall.is_some(),
     );
+    h.finish();
 }

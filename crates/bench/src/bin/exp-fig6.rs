@@ -5,53 +5,64 @@
 //! 1e-6..1e-5; within the window conservative algorithms hold higher hit
 //! rates; beyond the wall every algorithm converges to zero.
 
-use lori_bench::{banner, fmt, render_table};
+use lori_bench::{fmt, fmt_prob, render_table, Harness};
 use lori_ftsched::mitigation::BudgetAlgorithm;
 use lori_ftsched::montecarlo::{paper_probability_axis, sweep, SweepConfig};
 use lori_ftsched::workload::adpcm_reference_trace;
 
 fn main() {
-    banner("E4 / Fig. 6", "Deadline hit rate vs error probability, per algorithm");
+    let mut h = Harness::new(
+        "exp-fig6",
+        "E4 / Fig. 6",
+        "Deadline hit rate vs error probability, per algorithm",
+    );
     let trace = adpcm_reference_trace();
     let config = SweepConfig::default();
-    let points = sweep(&paper_probability_axis(), &trace, &config).expect("sweep");
-    let rows: Vec<Vec<String>> = points
-        .iter()
-        .map(|pt| {
-            let mut row = vec![format!("{:.0e}", pt.p)];
-            row.extend(pt.hit_rate.iter().map(|&h| fmt(h)));
-            row
-        })
-        .collect();
-    let headers: Vec<&str> = std::iter::once("p (per cycle)")
-        .chain(BudgetAlgorithm::ALL.iter().map(|a| a.label()))
-        .collect();
-    println!("{}", render_table(&headers, &rows));
+    h.seed(config.seed);
+    h.config("runs_per_point", config.runs as u64);
+    let points = h.phase("sweep", || {
+        sweep(&paper_probability_axis(), &trace, &config).expect("sweep")
+    });
 
-    // Shape checks.
+    h.phase("report", || {
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|pt| {
+                let mut row = vec![fmt_prob(pt.p)];
+                row.extend(pt.hit_rate.iter().map(|&hit| fmt(hit)));
+                row
+            })
+            .collect();
+        let headers: Vec<&str> = std::iter::once("p (per cycle)")
+            .chain(BudgetAlgorithm::ALL.iter().map(|a| a.label()))
+            .collect();
+        println!("{}", render_table(&headers, &rows));
+    });
+
     let low = points.first().expect("points");
     let high = points.last().expect("points");
-    println!("shape checks vs paper:");
-    println!(
-        "  - all algorithms near 1.0 at p={:.0e}: {}",
-        low.p,
-        low.hit_rate.iter().all(|&h| h > 0.99)
+    h.check(
+        "all algorithms near 1.0 at the lowest p",
+        low.hit_rate.iter().all(|&hit| hit > 0.99),
     );
-    println!(
-        "  - all algorithms near 0.0 at p={:.0e}: {}",
-        high.p,
-        high.hit_rate.iter().all(|&h| h < 0.05)
+    h.check(
+        "all algorithms near 0.0 at the highest p",
+        high.hit_rate.iter().all(|&hit| hit < 0.05),
     );
     let window = points
         .iter()
         .find(|pt| pt.hit_rate[3] - pt.hit_rate[0] > 0.2);
-    println!(
-        "  - window where WCET beats DS by >0.2: {}",
-        window.map_or("none".into(), |pt| format!(
-            "p={:.0e} (DS {} vs WCET {})",
-            pt.p,
+    h.check(
+        "a window exists where WCET beats DS by >0.2",
+        window.is_some(),
+    );
+    if let Some(pt) = window {
+        println!(
+            "    window at p={} (DS {} vs WCET {})",
+            fmt_prob(pt.p),
             fmt(pt.hit_rate[0]),
             fmt(pt.hit_rate[3])
-        ))
-    );
+        );
+    }
+    h.finish();
 }

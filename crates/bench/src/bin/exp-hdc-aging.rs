@@ -6,7 +6,7 @@
 //! aging without revealing the physics. We regenerate the claim with
 //! `lori-circuit`'s aging model as the confidential golden model.
 
-use lori_bench::{banner, fmt, render_table};
+use lori_bench::{fmt, render_table, Harness};
 use lori_circuit::aging::{AgingModel, StressProfile};
 use lori_core::units::{Celsius, Seconds};
 use lori_core::Rng;
@@ -14,7 +14,12 @@ use lori_hdc::regressor::{HdcRegressor, HdcRegressorConfig};
 use lori_ml::metrics::{mae, r2};
 
 fn main() {
-    banner("E6", "HDC mimicry of a confidential aging model (waveform -> ΔVth)");
+    let mut h = Harness::new(
+        "exp-hdc-aging",
+        "E6",
+        "HDC mimicry of a confidential aging model (waveform -> ΔVth)",
+    );
+    h.seed(1);
     let physics = AgingModel::default(); // the "confidential" model
     let mut rng = Rng::from_seed(1);
 
@@ -33,8 +38,13 @@ fn main() {
 
     let n_train = 3000;
     let n_test = 500;
-    let (train_x, train_y): (Vec<_>, Vec<_>) = (0..n_train).map(|_| sample(&mut rng)).unzip();
-    let (test_x, test_y): (Vec<_>, Vec<_>) = (0..n_test).map(|_| sample(&mut rng)).unzip();
+    h.config("n_train", n_train as u64);
+    h.config("n_test", n_test as u64);
+    let ((train_x, train_y), (test_x, test_y)) = h.phase("sample", || {
+        let train: (Vec<_>, Vec<_>) = (0..n_train).map(|_| sample(&mut rng)).unzip();
+        let test: (Vec<_>, Vec<_>) = (0..n_test).map(|_| sample(&mut rng)).unzip();
+        (train, test)
+    });
 
     let config = HdcRegressorConfig {
         dim: 8192,
@@ -42,8 +52,12 @@ fn main() {
         buckets: 32,
         ..HdcRegressorConfig::default()
     };
-    let model = HdcRegressor::fit(&train_x, &train_y, &config).expect("training");
-    let preds: Vec<f64> = test_x.iter().map(|x| model.predict(x)).collect();
+    let model = h.phase("train", || {
+        HdcRegressor::fit(&train_x, &train_y, &config).expect("training")
+    });
+    let preds: Vec<f64> = h.phase("predict", || {
+        test_x.iter().map(|x| model.predict(x)).collect()
+    });
 
     let r2_score = r2(&test_y, &preds).expect("metrics");
     let mae_v = mae(&test_y, &preds).expect("metrics");
@@ -53,17 +67,19 @@ fn main() {
         render_table(
             &["metric", "value"],
             &[
-                vec!["prototype buckets".into(), model.prototype_count().to_string()],
+                vec![
+                    "prototype buckets".into(),
+                    model.prototype_count().to_string()
+                ],
                 vec!["test R²".into(), fmt(r2_score)],
                 vec!["test MAE (V)".into(), fmt(mae_v)],
                 vec!["mean ΔVth (V)".into(), fmt(mean_target)],
-                vec![
-                    "relative MAE".into(),
-                    fmt(mae_v / mean_target),
-                ],
+                vec!["relative MAE".into(), fmt(mae_v / mean_target),],
             ]
         )
     );
     println!("claim shape: the HDC model tracks the physics model closely (R² ≳ 0.9)");
     println!("while exposing only hypervectors — no physics parameters.");
+    h.check("test R² close to 0.9 (>= 0.85)", r2_score >= 0.85);
+    h.finish();
 }

@@ -4,7 +4,7 @@
 //! inference accuracy with HDC drops only by 0.5 %" — because hypervector
 //! components are i.i.d. by design.
 
-use lori_bench::{banner, fmt, render_table};
+use lori_bench::{fmt, render_table, Harness};
 use lori_core::Rng;
 use lori_hdc::classifier::{HdcClassifier, HdcClassifierConfig};
 use lori_hdc::noise::flip_components;
@@ -34,38 +34,51 @@ fn blobs(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
 }
 
 fn main() {
-    banner("E5", "HDC inference accuracy vs hypervector component error rate");
+    let mut h = Harness::new(
+        "exp-hdc-robustness",
+        "E5",
+        "HDC inference accuracy vs hypervector component error rate",
+    );
+    h.seed(3);
     let (train_x, train_y) = blobs(1500, 1);
     let (test_x, test_y) = blobs(600, 2);
     let config = HdcClassifierConfig {
         dim: 8192,
         ..HdcClassifierConfig::default()
     };
-    let clf = HdcClassifier::fit(&train_x, &train_y, &config).expect("training");
+    let clf = h.phase("train", || {
+        HdcClassifier::fit(&train_x, &train_y, &config).expect("training")
+    });
     println!("classifier: 5 classes, dim {}", clf.dim());
 
     let mut rng = Rng::from_seed(3);
     let mut rows = Vec::new();
     let mut clean_acc = 0.0;
-    for &error_rate in &[0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.45, 0.48] {
-        let mut correct = 0usize;
-        for (x, &y) in test_x.iter().zip(&test_y) {
-            let hv = clf.encode(x);
-            let noisy = flip_components(&hv, error_rate, &mut rng);
-            if clf.classify_encoded(&noisy) == y {
-                correct += 1;
+    let mut acc_at_40 = 0.0;
+    h.phase("noise_sweep", || {
+        for &error_rate in &[0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.45, 0.48] {
+            let mut correct = 0usize;
+            for (x, &y) in test_x.iter().zip(&test_y) {
+                let hv = clf.encode(x);
+                let noisy = flip_components(&hv, error_rate, &mut rng);
+                if clf.classify_encoded(&noisy) == y {
+                    correct += 1;
+                }
             }
+            let acc = correct as f64 / test_x.len() as f64;
+            if error_rate == 0.0 {
+                clean_acc = acc;
+            }
+            if error_rate == 0.4 {
+                acc_at_40 = acc;
+            }
+            rows.push(vec![
+                fmt(error_rate),
+                fmt(acc),
+                fmt((clean_acc - acc) * 100.0),
+            ]);
         }
-        let acc = correct as f64 / test_x.len() as f64;
-        if error_rate == 0.0 {
-            clean_acc = acc;
-        }
-        rows.push(vec![
-            fmt(error_rate),
-            fmt(acc),
-            fmt((clean_acc - acc) * 100.0),
-        ]);
-    }
+    });
     println!(
         "{}",
         render_table(
@@ -74,4 +87,9 @@ fn main() {
         )
     );
     println!("paper reference point: at ~40 % error rate, drop ≈ 0.5 pp");
+    h.check(
+        "accuracy drop at 40% error rate below 5 pp",
+        (clean_acc - acc_at_40) * 100.0 < 5.0,
+    );
+    h.finish();
 }

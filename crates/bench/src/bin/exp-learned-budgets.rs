@@ -6,29 +6,38 @@
 //! experiment compares plain DS budgets against budgets from an online-
 //! trained linear predictor of consumed cycles.
 
-use lori_bench::{banner, fmt, render_table};
+use lori_bench::{fmt, fmt_prob, render_table, Harness};
 use lori_ftsched::checkpoint::CheckpointSystem;
 use lori_ftsched::learning::compare_ds_vs_learned;
 use lori_ftsched::mitigation::{BudgetAlgorithm, MitigationSystem};
 use lori_ftsched::workload::adpcm_reference_trace;
 
 fn main() {
-    banner("E14", "Learned execution-time budgets vs plain dynamic-scenario budgets");
+    let mut h = Harness::new(
+        "exp-learned-budgets",
+        "E14",
+        "Learned execution-time budgets vs plain dynamic-scenario budgets",
+    );
     let trace = adpcm_reference_trace();
     let cp = CheckpointSystem::default();
     let mitigation = MitigationSystem::new(BudgetAlgorithm::Ds);
+    let p_axis = [1e-7, 1e-6, 3e-6, 6e-6, 1e-5];
+    h.config("probability_points", p_axis.len() as u64);
 
-    let mut rows = Vec::new();
-    for &p in &[1e-7, 1e-6, 3e-6, 6e-6, 1e-5] {
-        let cmp = compare_ds_vs_learned(&trace, p, &cp, &mitigation, 8, 1).expect("comparison");
-        rows.push(vec![
-            format!("{p:.0e}"),
-            fmt(cmp.ds_hit_rate),
-            fmt(cmp.learned_hit_rate),
-            fmt(cmp.ds_mean_budget),
-            fmt(cmp.learned_mean_budget),
-        ]);
-    }
+    let rows = h.phase("compare", || {
+        let mut rows = Vec::new();
+        for &p in &p_axis {
+            let cmp = compare_ds_vs_learned(&trace, p, &cp, &mitigation, 8, 1).expect("comparison");
+            rows.push(vec![
+                fmt_prob(p),
+                fmt(cmp.ds_hit_rate),
+                fmt(cmp.learned_hit_rate),
+                fmt(cmp.ds_mean_budget),
+                fmt(cmp.learned_mean_budget),
+            ]);
+        }
+        rows
+    });
     println!(
         "{}",
         render_table(
@@ -45,4 +54,5 @@ fn main() {
     println!("claim shape: inside the cliff window the learned budgets hold the hit");
     println!("rate high by anticipating rollback inflation, at budgets far below");
     println!("WCET's constant worst-case allocation (~284k cycles).");
+    h.finish();
 }

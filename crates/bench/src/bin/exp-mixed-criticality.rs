@@ -1,7 +1,7 @@
 //! E17 (Sec. VI-B, the paper's open challenge): mixed-criticality
 //! scheduling with reactive vs learned proactive mode switching.
 
-use lori_bench::{banner, fmt, render_table};
+use lori_bench::{fmt, render_table, Harness};
 use lori_core::Rng;
 use lori_sys::mixed_criticality::{Criticality, McSimulator, McTask, SwitchPolicy};
 
@@ -16,27 +16,37 @@ fn tasks() -> Vec<McTask> {
 }
 
 fn main() {
-    banner("E17", "Mixed-criticality: reactive vs learned proactive mode switching");
+    let mut h = Harness::new(
+        "exp-mixed-criticality",
+        "E17",
+        "Mixed-criticality: reactive vs learned proactive mode switching",
+    );
+    h.seed(1);
     let duration = 20_000.0;
+    h.config("duration_ms", duration);
     let mut rows = Vec::new();
-    for &(p, p_label) in &[(0.0, "0 %"), (0.05, "5 %"), (0.2, "20 %"), (0.4, "40 %")] {
-        for (policy, name) in [
-            (SwitchPolicy::Reactive, "reactive"),
-            (SwitchPolicy::Proactive { threshold: 0.12 }, "proactive"),
-        ] {
-            let sim = McSimulator::new(tasks(), p, policy).expect("simulator");
-            let mut rng = Rng::from_seed(1);
-            let r = sim.run(duration, &mut rng);
-            rows.push(vec![
-                p_label.to_owned(),
-                name.to_owned(),
-                r.hi_missed.to_string(),
-                fmt(r.lo_service()),
-                r.mode_switches.to_string(),
-                r.hi_mode_quanta.to_string(),
-            ]);
+    let mut hi_misses_total = 0u64;
+    h.phase("simulate", || {
+        for &(p, p_label) in &[(0.0, "0 %"), (0.05, "5 %"), (0.2, "20 %"), (0.4, "40 %")] {
+            for (policy, name) in [
+                (SwitchPolicy::Reactive, "reactive"),
+                (SwitchPolicy::Proactive { threshold: 0.12 }, "proactive"),
+            ] {
+                let sim = McSimulator::new(tasks(), p, policy).expect("simulator");
+                let mut rng = Rng::from_seed(1);
+                let r = sim.run(duration, &mut rng);
+                hi_misses_total += r.hi_missed;
+                rows.push(vec![
+                    p_label.to_owned(),
+                    name.to_owned(),
+                    r.hi_missed.to_string(),
+                    fmt(r.lo_service()),
+                    r.mode_switches.to_string(),
+                    r.hi_mode_quanta.to_string(),
+                ]);
+            }
         }
-    }
+    });
     println!(
         "{}",
         render_table(
@@ -54,4 +64,6 @@ fn main() {
     println!("invariant: HI misses are zero under both policies at every overrun rate.");
     println!("trade-off: the proactive (learned) policy buys earlier HI-mode entry at");
     println!("the cost of LO service once overruns become frequent.");
+    h.check("HI misses are zero everywhere", hi_misses_total == 0);
+    h.finish();
 }

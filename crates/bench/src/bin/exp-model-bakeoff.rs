@@ -8,7 +8,7 @@
 use lori_arch::cpu::CpuConfig;
 use lori_arch::predict::ff_vulnerability_dataset;
 use lori_arch::workload;
-use lori_bench::{banner, fmt, render_table};
+use lori_bench::{fmt, render_table, Harness};
 use lori_core::Rng;
 use lori_ml::boost::{AdaBoost, AdaBoostConfig, GradientBoostClassifier, GradientBoostConfig};
 use lori_ml::data::{Dataset, StandardScaler};
@@ -47,11 +47,18 @@ fn fit_all(train: &Dataset) -> Vec<(&'static str, Box<dyn Classifier>)> {
 }
 
 fn main() {
-    banner("E9", "Fault-outcome model bake-off (k-fold cross validation)");
+    let mut h = Harness::new(
+        "exp-model-bakeoff",
+        "E9",
+        "Fault-outcome model bake-off (k-fold cross validation)",
+    );
+    h.seed(11);
     let programs = workload::all();
     let cfg = CpuConfig::default();
     println!("building the injection-outcome dataset...");
-    let raw = ff_vulnerability_dataset(&programs, &cfg, 4, 0.0, 3).expect("dataset");
+    let raw = h.phase("injection_campaign", || {
+        ff_vulnerability_dataset(&programs, &cfg, 4, 0.0, 3).expect("dataset")
+    });
     let scaler = StandardScaler::fit(&raw).expect("scaler");
     let ds = scaler.transform(&raw);
 
@@ -61,13 +68,15 @@ fn main() {
 
     // Collect per-model accuracy across folds.
     let mut table: std::collections::BTreeMap<&'static str, Vec<f64>> = Default::default();
-    for (train, val) in &folds {
-        let truth = val.class_targets();
-        for (name, model) in fit_all(train) {
-            let acc = accuracy(&truth, &model.predict_batch(val.features())).expect("metric");
-            table.entry(name).or_default().push(acc);
+    h.phase("cross_validation", || {
+        for (train, val) in &folds {
+            let truth = val.class_targets();
+            for (name, model) in fit_all(train) {
+                let acc = accuracy(&truth, &model.predict_batch(val.features())).expect("metric");
+                table.entry(name).or_default().push(acc);
+            }
         }
-    }
+    });
 
     let mut rows: Vec<Vec<String>> = table
         .iter()
@@ -85,4 +94,11 @@ fn main() {
     );
     println!("claim shape: boosted ensembles rank at/near the top with low fold-to-fold");
     println!("variance (the 'consistently accurate' property the survey highlights).");
+    let top3: Vec<&str> = rows.iter().take(3).map(|r| r[0].as_str()).collect();
+    h.check(
+        "a boosted ensemble ranks in the top 3",
+        top3.iter()
+            .any(|n| n.contains("Boost") || n.contains("boost")),
+    );
+    h.finish();
 }

@@ -5,22 +5,25 @@
 //! complete before the system fails; a neural network estimates per-core
 //! vulnerability factors to drive the mapping.
 
-use lori_bench::{banner, fmt, render_table};
+use lori_bench::{fmt, render_table, Harness};
 use lori_core::Rng;
 use lori_ml::data::{Dataset, StandardScaler};
 use lori_ml::metrics::r2;
 use lori_ml::mlp::{Mlp, MlpConfig};
 use lori_ml::traits::Regressor;
-use lori_sys::mapping::{
-    evaluate_mapping, map_mwtf_aware, map_performance, vulnerability_samples,
-};
+use lori_sys::mapping::{evaluate_mapping, map_mwtf_aware, map_performance, vulnerability_samples};
 use lori_sys::platform::Platform;
 use lori_sys::sched::Mapping;
 use lori_sys::ser::SerModel;
 use lori_sys::task::generate_task_set;
 
 fn main() {
-    banner("E12", "MWTF-aware heterogeneous mapping with an NN vulnerability estimator");
+    let mut h = Harness::new(
+        "exp-mwtf-mapping",
+        "E12",
+        "MWTF-aware heterogeneous mapping with an NN vulnerability estimator",
+    );
+    h.seed(2);
     let platform = Platform::big_little_2x2();
     let ser = SerModel::default();
     let mut rng = Rng::from_seed(2);
@@ -38,7 +41,8 @@ fn main() {
     let ds = scaler.transform(&raw);
     let mut cfg = MlpConfig::regressor();
     cfg.epochs = 400;
-    let nn = Mlp::fit(&ds, &cfg).expect("training");
+    h.config("nn_epochs", cfg.epochs as u64);
+    let nn = h.phase("train_estimator", || Mlp::fit(&ds, &cfg).expect("training"));
     let preds: Vec<f64> = ds.features().iter().map(|x| nn.predict(x)).collect();
     println!(
         "NN vulnerability estimator: R² = {} on training measurements",
@@ -47,27 +51,50 @@ fn main() {
 
     // Compare mappings.
     let candidates: Vec<(&str, Mapping)> = vec![
-        ("round-robin", Mapping::round_robin(tasks.len(), platform.core_count())),
+        (
+            "round-robin",
+            Mapping::round_robin(tasks.len(), platform.core_count()),
+        ),
         ("performance-greedy", map_performance(&platform, &tasks)),
         ("MWTF-aware", map_mwtf_aware(&platform, &tasks, &ser)),
     ];
     let mut rows = Vec::new();
-    for (name, mapping) in &candidates {
-        let r = evaluate_mapping(&platform, &tasks, mapping, &ser).expect("evaluation");
-        rows.push(vec![
-            (*name).to_owned(),
-            fmt(r.system_mwtf),
-            fmt(r.failures_per_hour * 1.0e6),
-            fmt(r.max_core_utilization),
-        ]);
-    }
+    let mut mwtf_by_name = Vec::new();
+    h.phase("evaluate_mappings", || {
+        for (name, mapping) in &candidates {
+            let r = evaluate_mapping(&platform, &tasks, mapping, &ser).expect("evaluation");
+            mwtf_by_name.push((*name, r.system_mwtf));
+            rows.push(vec![
+                (*name).to_owned(),
+                fmt(r.system_mwtf),
+                fmt(r.failures_per_hour * 1.0e6),
+                fmt(r.max_core_utilization),
+            ]);
+        }
+    });
     println!(
         "{}",
         render_table(
-            &["mapping", "system MWTF", "failures/h ×1e-6", "max core util"],
+            &[
+                "mapping",
+                "system MWTF",
+                "failures/h ×1e-6",
+                "max core util"
+            ],
             &rows
         )
     );
     println!("claim shape: MWTF-aware mapping raises system MWTF (more work per");
     println!("failure) over performance-only mapping while staying schedulable.");
+    let mwtf_of = |want: &str| {
+        mwtf_by_name
+            .iter()
+            .find(|(n, _)| *n == want)
+            .map_or(f64::NAN, |(_, v)| *v)
+    };
+    h.check(
+        "MWTF-aware mapping beats performance-greedy on system MWTF",
+        mwtf_of("MWTF-aware") >= mwtf_of("performance-greedy"),
+    );
+    h.finish();
 }

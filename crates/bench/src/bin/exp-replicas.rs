@@ -5,7 +5,7 @@
 //! re-sizes each job's replica set; compared against static 1×/3×/7×
 //! configurations on job-failure rate and replica cost.
 
-use lori_bench::{banner, fmt, render_table};
+use lori_bench::{fmt, render_table, Harness};
 use lori_core::units::Probability;
 use lori_core::Rng;
 use lori_sys::replication::{majority_reliability, ReplicaManager, ReplicaManagerConfig};
@@ -29,8 +29,14 @@ fn static_run(replicas: u32, true_p: f64, jobs: usize, rng: &mut Rng) -> (u64, u
 }
 
 fn main() {
-    banner("E16", "Adaptive replica management vs static redundancy");
+    let mut h = Harness::new(
+        "exp-replicas",
+        "E16",
+        "Adaptive replica management vs static redundancy",
+    );
+    h.seed(7);
     let jobs = 4000;
+    h.config("jobs", jobs as u64);
 
     println!("majority-voting reliability at p = 0.02 per replica:");
     for r in [1u32, 3, 5, 7] {
@@ -41,39 +47,43 @@ fn main() {
     }
 
     // Two environments: calm, then a radiation burst (environmental change).
-    for &(label, true_p) in &[("calm (p=1e-4)", 1e-4), ("hostile (p=0.03)", 0.03)] {
-        println!("\nenvironment: {label}, {jobs} jobs");
-        let mut rows = Vec::new();
-        for r in [1u32, 3, 7] {
+    h.phase("environments", || {
+        for &(label, true_p) in &[("calm (p=1e-4)", 1e-4), ("hostile (p=0.03)", 0.03)] {
+            println!("\nenvironment: {label}, {jobs} jobs");
+            let mut rows = Vec::new();
+            for r in [1u32, 3, 7] {
+                let mut rng = Rng::from_seed(7);
+                let (failures, execs) = static_run(r, true_p, jobs, &mut rng);
+                rows.push(vec![
+                    format!("static {r}x"),
+                    fmt(failures as f64 / jobs as f64),
+                    fmt(execs as f64 / jobs as f64),
+                ]);
+            }
             let mut rng = Rng::from_seed(7);
-            let (failures, execs) = static_run(r, true_p, jobs, &mut rng);
+            let mut mgr = ReplicaManager::new(ReplicaManagerConfig::default()).expect("manager");
+            let (failures, execs) =
+                mgr.run_adaptive(Probability::saturating(true_p), jobs, &mut rng);
             rows.push(vec![
-                format!("static {r}x"),
+                format!(
+                    "adaptive (settled at {} replicas)",
+                    mgr.recommended_replicas()
+                ),
                 fmt(failures as f64 / jobs as f64),
                 fmt(execs as f64 / jobs as f64),
             ]);
+            println!(
+                "{}",
+                render_table(
+                    &["policy", "job-failure rate", "replicas per job (cost)"],
+                    &rows
+                )
+            );
         }
-        let mut rng = Rng::from_seed(7);
-        let mut mgr = ReplicaManager::new(ReplicaManagerConfig::default()).expect("manager");
-        let (failures, execs) = mgr.run_adaptive(Probability::saturating(true_p), jobs, &mut rng);
-        rows.push(vec![
-            format!(
-                "adaptive (settled at {} replicas)",
-                mgr.recommended_replicas()
-            ),
-            fmt(failures as f64 / jobs as f64),
-            fmt(execs as f64 / jobs as f64),
-        ]);
-        println!(
-            "{}",
-            render_table(
-                &["policy", "job-failure rate", "replicas per job (cost)"],
-                &rows
-            )
-        );
-    }
+    });
     println!("claim shape: the adaptive manager settles at the cheapest replica count");
     println!("meeting the 1e-6 target in each environment and re-sizes automatically");
     println!("when conditions change — static policies are either wasteful (7x in calm)");
     println!("or under-protected (1x/3x in hostile).");
+    h.finish();
 }

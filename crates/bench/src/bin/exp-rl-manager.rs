@@ -5,7 +5,7 @@
 //! time and find better reliability/energy operating points than static
 //! policies.
 
-use lori_bench::{banner, fmt, render_table};
+use lori_bench::{fmt, render_table, Harness};
 use lori_core::mgmt::{evaluate, train, Agent, Environment, Transition};
 use lori_core::Rng;
 use lori_ml::rl::{QLearning, RlConfig};
@@ -26,7 +26,12 @@ impl Agent for Fixed {
 }
 
 fn main() {
-    banner("E11b", "Q-learning DVFS manager vs static governors");
+    let mut h = Harness::new(
+        "exp-rl-manager",
+        "E11b",
+        "Q-learning DVFS manager vs static governors",
+    );
+    h.seed(3);
     let platform = Platform::homogeneous(CoreKind::Little, 2).expect("platform");
     let mut rng = Rng::from_seed(3);
     let tasks = generate_task_set(6, 0.8, 1.6e6, (10.0, 60.0), &mut rng).expect("tasks");
@@ -46,10 +51,11 @@ fn main() {
         env.action_count()
     );
 
-    let mut agent = QLearning::new(env.state_count(), env.action_count(), RlConfig::default())
-        .expect("agent");
+    let mut agent =
+        QLearning::new(env.state_count(), env.action_count(), RlConfig::default()).expect("agent");
     println!("training 150 episodes...");
-    let report = train(&mut env, &mut agent, 150, 40);
+    h.config("episodes", 150u64);
+    let report = h.phase("train", || train(&mut env, &mut agent, 150, 40));
     println!(
         "first-10 mean episode reward {} -> last-10 mean {}",
         fmt(report.episode_rewards.iter().take(10).sum::<f64>() / 10.0),
@@ -57,12 +63,17 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    let learned = evaluate(&mut env, &agent, 5, 40);
-    rows.push(vec!["Q-learning (greedy)".to_owned(), fmt(learned)]);
-    for level in 0..env.action_count() {
-        let r = evaluate(&mut env, &Fixed(level), 5, 40);
-        rows.push(vec![format!("static level {level}"), fmt(r)]);
-    }
+    let mut learned = 0.0;
+    let mut best_static = f64::NEG_INFINITY;
+    h.phase("evaluate", || {
+        learned = evaluate(&mut env, &agent, 5, 40);
+        rows.push(vec!["Q-learning (greedy)".to_owned(), fmt(learned)]);
+        for level in 0..env.action_count() {
+            let r = evaluate(&mut env, &Fixed(level), 5, 40);
+            best_static = best_static.max(r);
+            rows.push(vec![format!("static level {level}"), fmt(r)]);
+        }
+    });
     println!(
         "{}",
         render_table(&["policy", "mean episode reward"], &rows)
@@ -70,4 +81,9 @@ fn main() {
     println!("claim shape: the learned policy converges to the best static level's");
     println!("reward (and can beat it under time-varying load) while avoiding the");
     println!("catastrophic deadline-missing low levels a wrong static pick causes.");
+    h.check(
+        "learned policy within 20% of the best static level",
+        learned >= best_static - 0.2 * best_static.abs(),
+    );
+    h.finish();
 }

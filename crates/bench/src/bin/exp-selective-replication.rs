@@ -10,58 +10,78 @@ use lori_arch::cpu::{CpuConfig, Protection};
 use lori_arch::predict::instruction_sdc_dataset;
 use lori_arch::protect::evaluate_protection;
 use lori_arch::workload;
-use lori_bench::{banner, fmt, render_table};
+use lori_bench::{fmt, render_table, Harness};
 use lori_ml::svm::{LinearSvm, SvmConfig};
 use lori_ml::traits::Classifier;
 
 fn main() {
-    banner("E8", "IPAS-style selective replication: coverage vs slowdown");
+    let mut h = Harness::new(
+        "exp-selective-replication",
+        "E8",
+        "IPAS-style selective replication: coverage vs slowdown",
+    );
+    h.seed(1);
     let cfg = CpuConfig::default();
     let trials = 600;
+    h.config("trials", trials as u64);
 
-    for program in workload::all() {
-        println!("--- workload: {} ({} instructions)", program.name, program.len());
-        // Train the SVM on injection-derived SDC labels.
-        let ds = instruction_sdc_dataset(&program, &cfg, 24, 0.15, 1).expect("dataset");
-        let classes = ds.class_targets();
-        let n_vuln_true = classes.iter().filter(|&&c| c == 1).count();
-        let svm_selection: Vec<usize> = match LinearSvm::fit(&ds, &SvmConfig::default()) {
-            Ok(svm) => (0..program.len())
-                .filter(|&i| svm.predict(&ds.features()[i]) == 1)
-                .collect(),
-            // Degenerate labels (all one class): fall back to the labels.
-            Err(_) => (0..program.len()).filter(|&i| classes[i] == 1).collect(),
-        };
+    h.phase("campaigns", || {
+        for program in workload::all() {
+            println!(
+                "--- workload: {} ({} instructions)",
+                program.name,
+                program.len()
+            );
+            // Train the SVM on injection-derived SDC labels.
+            let ds = instruction_sdc_dataset(&program, &cfg, 24, 0.15, 1).expect("dataset");
+            let classes = ds.class_targets();
+            let n_vuln_true = classes.iter().filter(|&&c| c == 1).count();
+            let svm_selection: Vec<usize> = match LinearSvm::fit(&ds, &SvmConfig::default()) {
+                Ok(svm) => (0..program.len())
+                    .filter(|&i| svm.predict(&ds.features()[i]) == 1)
+                    .collect(),
+                // Degenerate labels (all one class): fall back to the labels.
+                Err(_) => (0..program.len()).filter(|&i| classes[i] == 1).collect(),
+            };
 
-        let configs: Vec<(&str, Protection)> = vec![
-            ("none", Protection::none()),
-            (
-                "ML-selective (SVM)",
-                Protection::for_instructions(&program, svm_selection.iter().copied())
-                    .expect("valid indices"),
-            ),
-            ("full DMR", Protection::full(&program)),
-        ];
-        let mut rows = Vec::new();
-        for (name, prot) in configs {
-            let report = evaluate_protection(&program, &cfg, &prot, trials, 2).expect("campaign");
-            rows.push(vec![
-                name.to_owned(),
-                prot.len().to_string(),
-                fmt(report.overhead()),
-                fmt(report.sdc_rate()),
-                fmt(report.detection_rate()),
-            ]);
+            let configs: Vec<(&str, Protection)> = vec![
+                ("none", Protection::none()),
+                (
+                    "ML-selective (SVM)",
+                    Protection::for_instructions(&program, svm_selection.iter().copied())
+                        .expect("valid indices"),
+                ),
+                ("full DMR", Protection::full(&program)),
+            ];
+            let mut rows = Vec::new();
+            for (name, prot) in configs {
+                let report =
+                    evaluate_protection(&program, &cfg, &prot, trials, 2).expect("campaign");
+                rows.push(vec![
+                    name.to_owned(),
+                    prot.len().to_string(),
+                    fmt(report.overhead()),
+                    fmt(report.sdc_rate()),
+                    fmt(report.detection_rate()),
+                ]);
+            }
+            println!(
+                "{}",
+                render_table(
+                    &[
+                        "protection",
+                        "#instr",
+                        "slowdown",
+                        "SDC rate",
+                        "detection rate"
+                    ],
+                    &rows
+                )
+            );
+            println!("  (true vulnerable instructions: {n_vuln_true})");
         }
-        println!(
-            "{}",
-            render_table(
-                &["protection", "#instr", "slowdown", "SDC rate", "detection rate"],
-                &rows
-            )
-        );
-        println!("  (true vulnerable instructions: {n_vuln_true})");
-    }
+    });
     println!("claim shape: ML-selective sits between none and full DMR — most of");
     println!("full DMR's SDC reduction at a fraction of its slowdown.");
+    h.finish();
 }

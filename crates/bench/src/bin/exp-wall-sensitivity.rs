@@ -6,39 +6,48 @@
 //! checkpointing" and leaves the study as future work — this experiment
 //! runs it.
 
-use lori_bench::{banner, render_table};
+use lori_bench::{fmt_prob, render_table, Harness};
 use lori_ftsched::montecarlo::SweepConfig;
 use lori_ftsched::wall::wall_sensitivity;
 use lori_ftsched::workload::adpcm_reference_trace;
 
 fn main() {
-    banner("E13", "Error-rate-wall sensitivity to speed headroom and checkpoint granularity");
+    let mut h = Harness::new(
+        "exp-wall-sensitivity",
+        "E13",
+        "Error-rate-wall sensitivity to speed headroom and checkpoint granularity",
+    );
     let trace = adpcm_reference_trace();
     let config = SweepConfig {
         runs: 40,
         ..SweepConfig::default()
     };
+    h.seed(config.seed);
+    h.config("runs_per_point", config.runs as u64);
     println!("bisecting the p where each algorithm's hit rate crosses 50 %...");
-    let rows = wall_sensitivity(
-        &trace,
-        &config,
-        &[1.1, 1.3, 1.6, 2.0],
-        &[1, 2, 4, 8],
-    )
-    .expect("sensitivity sweep");
+    let rows = h.phase("bisect", || {
+        wall_sensitivity(&trace, &config, &[1.1, 1.3, 1.6, 2.0], &[1, 2, 4, 8])
+            .expect("sensitivity sweep")
+    });
 
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
             let mut row = vec![r.label.clone()];
-            row.extend(r.wall_p.iter().map(|p| format!("{p:.2e}")));
+            row.extend(r.wall_p.iter().map(|&p| fmt_prob(p)));
             row
         })
         .collect();
     println!(
         "{}",
         render_table(
-            &["parameter", "DS wall", "DS1.5 wall", "DS2 wall", "WCET wall"],
+            &[
+                "parameter",
+                "DS wall",
+                "DS1.5 wall",
+                "DS2 wall",
+                "WCET wall"
+            ],
             &table
         )
     );
@@ -46,4 +55,5 @@ fn main() {
     println!("  - more speed headroom moves every wall to higher p (more noise absorbed);");
     println!("  - finer checkpointing moves the wall forward at high p (less work lost");
     println!("    per rollback) at the cost of checkpoint overhead at low p.");
+    h.finish();
 }

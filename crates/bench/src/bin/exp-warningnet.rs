@@ -4,7 +4,7 @@
 
 use lori_arch::cpu::{run_golden, CpuConfig};
 use lori_arch::workload;
-use lori_bench::{banner, fmt, render_table};
+use lori_bench::{fmt, render_table, Harness};
 use lori_core::Rng;
 use lori_ml::data::{Dataset, StandardScaler};
 use lori_ml::metrics::{precision, recall};
@@ -30,7 +30,12 @@ fn run_perturbed(noise: &[i64], tolerance: u32) -> bool {
 }
 
 fn main() {
-    banner("E15", "WarningNet-style early warning of failure-inducing input noise");
+    let mut h = Harness::new(
+        "exp-warningnet",
+        "E15",
+        "WarningNet-style early warning of failure-inducing input noise",
+    );
+    h.seed(1);
     let mut rng = Rng::from_seed(1);
     let tolerance = 40;
     let n_inputs = 18; // matmul's A and B matrices
@@ -51,7 +56,9 @@ fn main() {
         (features, f64::from(u8::from(fails)))
     };
     println!("labeling 1200 perturbation samples by running the task...");
-    let (xs, ys): (Vec<_>, Vec<_>) = (0..1200).map(|_| sample(&mut rng)).unzip();
+    h.config("samples", 1200u64);
+    let (xs, ys): (Vec<_>, Vec<_>) =
+        h.phase("label", || (0..1200).map(|_| sample(&mut rng)).unzip());
     let raw = Dataset::from_rows(xs, ys).expect("dataset");
     let scaler = StandardScaler::fit(&raw).expect("scaler");
     let ds = scaler.transform(&raw);
@@ -59,33 +66,47 @@ fn main() {
 
     let mut cfg = MlpConfig::classifier(2);
     cfg.hidden = vec![12, 12];
-    let net = Mlp::fit(&train, &cfg).expect("training");
+    let net = h.phase("train", || Mlp::fit(&train, &cfg).expect("training"));
 
     let truth = test.class_targets();
     let preds = net.predict_batch(test.features());
 
     // Time comparison: warning query vs running the task to find out.
     let q = test.features()[0].clone();
-    let t0 = Instant::now();
-    for _ in 0..1000 {
-        let _ = net.predict(&q);
-    }
-    let warn_t = t0.elapsed().as_secs_f64() / 1000.0;
-    let t0 = Instant::now();
-    for _ in 0..200 {
-        let _ = run_golden(&workload::matmul(), &CpuConfig::default());
-    }
-    let task_t = t0.elapsed().as_secs_f64() / 200.0;
+    let (warn_t, task_t) = h.phase("time_comparison", || {
+        let t0 = Instant::now();
+        for _ in 0..1000 {
+            let _ = net.predict(&q);
+        }
+        let warn_t = t0.elapsed().as_secs_f64() / 1000.0;
+        let t0 = Instant::now();
+        for _ in 0..200 {
+            let _ = run_golden(&workload::matmul(), &CpuConfig::default());
+        }
+        (warn_t, t0.elapsed().as_secs_f64() / 200.0)
+    });
 
     println!(
         "{}",
         render_table(
             &["metric", "value"],
             &[
-                vec!["recall (failures caught)".into(), fmt(recall(&truth, &preds, 1).expect("m"))],
-                vec!["precision".into(), fmt(precision(&truth, &preds, 1).expect("m"))],
-                vec!["warning query time".into(), format!("{:.2} µs", warn_t * 1e6)],
-                vec!["task execution time".into(), format!("{:.2} µs", task_t * 1e6)],
+                vec![
+                    "recall (failures caught)".into(),
+                    fmt(recall(&truth, &preds, 1).expect("m"))
+                ],
+                vec![
+                    "precision".into(),
+                    fmt(precision(&truth, &preds, 1).expect("m"))
+                ],
+                vec![
+                    "warning query time".into(),
+                    format!("{:.2} µs", warn_t * 1e6)
+                ],
+                vec![
+                    "task execution time".into(),
+                    format!("{:.2} µs", task_t * 1e6)
+                ],
                 vec![
                     "warning cost / task cost".into(),
                     format!("1/{:.0}", task_t / warn_t.max(1e-12)),
@@ -94,4 +115,9 @@ fn main() {
         )
     );
     println!("paper reference (ref [32]): early warning in ~1/20 of the task time.");
+    h.check(
+        "warning query is cheaper than running the task",
+        warn_t < task_t,
+    );
+    h.finish();
 }

@@ -1,0 +1,206 @@
+//! The shared experiment entry point.
+//!
+//! Every `exp-*` binary runs through a [`Harness`]: it prints the standard
+//! banner, installs a [`lori_obs::JsonlRecorder`] streaming to
+//! `results/<name>.events.jsonl` (disable with `LORI_OBS=off`), times each
+//! [`Harness::phase`], and on [`Harness::finish`] writes a
+//! [`lori_obs::RunManifest`] to `results/<name>.manifest.json` with the
+//! seed, config summary, code version, per-phase wall times, shape-check
+//! outcomes, and a snapshot of every metric the instrumented layers
+//! aggregated during the run.
+
+use lori_obs as obs;
+use obs::Value;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Directory experiment outputs land in, honoring `LORI_RESULTS_DIR`.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("LORI_RESULTS_DIR").map_or_else(|| PathBuf::from("results"), PathBuf::from)
+}
+
+/// `true` unless `LORI_OBS=off|0|false` disables event recording.
+fn obs_enabled() -> bool {
+    !matches!(
+        std::env::var("LORI_OBS").as_deref(),
+        Ok("off" | "0" | "false")
+    )
+}
+
+/// The shared experiment runner. See the module docs.
+#[derive(Debug)]
+pub struct Harness {
+    name: String,
+    manifest: obs::RunManifest,
+    checks: Vec<(String, bool)>,
+    events_path: Option<PathBuf>,
+    finished: bool,
+}
+
+impl Harness {
+    /// Starts an experiment: banner, results dir, recorder, manifest.
+    ///
+    /// `name` keys the output files (`results/<name>.events.jsonl`,
+    /// `results/<name>.manifest.json`); `id` and `title` feed the banner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the results directory cannot be created.
+    #[must_use]
+    pub fn new(name: &str, id: &str, title: &str) -> Self {
+        crate::banner(id, title);
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir).expect("create results dir");
+        let events_path = if obs_enabled() {
+            let path = dir.join(format!("{name}.events.jsonl"));
+            match obs::JsonlRecorder::create(&path) {
+                Ok(rec) => {
+                    obs::install(Arc::new(rec));
+                    Some(path)
+                }
+                Err(err) => {
+                    eprintln!("warning: cannot record events to {}: {err}", path.display());
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        let mut manifest = obs::RunManifest::start(name);
+        manifest.config("obs", events_path.is_some());
+        Harness {
+            name: name.to_owned(),
+            manifest,
+            checks: Vec::new(),
+            events_path,
+            finished: false,
+        }
+    }
+
+    /// Records the master RNG seed in the manifest.
+    pub fn seed(&mut self, seed: u64) {
+        self.manifest.set_seed(seed);
+    }
+
+    /// Records one config entry in the manifest.
+    pub fn config(&mut self, key: &str, value: impl Into<Value>) {
+        self.manifest.config(key, value);
+    }
+
+    /// Runs `f` as a named, timed phase: it gets a top-level span in the
+    /// event stream and a `phases[]` entry in the manifest.
+    pub fn phase<T>(&mut self, label: &'static str, f: impl FnOnce() -> T) -> T {
+        let _span = obs::span(label);
+        let t0 = Instant::now();
+        let out = f();
+        self.manifest
+            .push_phase(label, t0.elapsed().as_secs_f64() * 1e3);
+        out
+    }
+
+    /// Prints and records one shape check against the paper's claims.
+    pub fn check(&mut self, desc: &str, ok: bool) {
+        if self.checks.is_empty() {
+            println!("shape checks vs paper:");
+        }
+        println!("  - {desc}: {ok}");
+        self.checks.push((desc.to_owned(), ok));
+    }
+
+    /// `true` when every recorded check passed (vacuously true for none).
+    #[must_use]
+    pub fn all_checks_pass(&self) -> bool {
+        self.checks.iter().all(|(_, ok)| *ok)
+    }
+
+    /// Ends the run: uninstalls the recorder, snapshots all metrics, and
+    /// writes `results/<name>.manifest.json`.
+    pub fn finish(mut self) {
+        self.finish_inner();
+    }
+
+    fn finish_inner(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        obs::uninstall();
+        if !self.checks.is_empty() {
+            let checks = Value::Obj(
+                self.checks
+                    .iter()
+                    .map(|(desc, ok)| (desc.clone(), Value::from(*ok)))
+                    .collect(),
+            );
+            self.manifest.config.push(("checks".to_owned(), checks));
+        }
+        self.manifest.finish(obs::registry().snapshot());
+        let path = results_dir().join(format!("{}.manifest.json", self.name));
+        match self.manifest.write(&path) {
+            Ok(()) => {
+                print!("manifest: {}", path.display());
+                if let Some(events) = &self.events_path {
+                    print!("  events: {}", events.display());
+                }
+                println!();
+            }
+            Err(err) => eprintln!("warning: cannot write {}: {err}", path.display()),
+        }
+    }
+}
+
+impl Drop for Harness {
+    fn drop(&mut self) {
+        // A panicking experiment still leaves a manifest behind.
+        self.finish_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Harness installs a process-global recorder, so this single test
+    // exercises the full lifecycle in one body.
+    #[test]
+    fn harness_lifecycle_writes_events_and_manifest() {
+        let dir = std::env::temp_dir().join(format!("lori-harness-{}", std::process::id()));
+        std::env::set_var("LORI_RESULTS_DIR", &dir);
+        let mut h = Harness::new("exp-unit", "E0", "harness unit test");
+        h.seed(9);
+        h.config("runs", 3u64);
+        let total: u64 = h.phase("compute", || (0..100u64).sum());
+        assert_eq!(total, 4950);
+        h.check("sum matches", total == 4950);
+        assert!(h.all_checks_pass());
+        h.finish();
+        std::env::remove_var("LORI_RESULTS_DIR");
+
+        let manifest =
+            std::fs::read_to_string(dir.join("exp-unit.manifest.json")).expect("manifest");
+        let v = Value::parse(&manifest).unwrap();
+        assert_eq!(v.get("seed").and_then(Value::as_f64), Some(9.0));
+        let phases = v.get("phases").and_then(Value::as_arr).unwrap();
+        assert_eq!(phases.len(), 1);
+        assert_eq!(
+            phases[0].get("name").and_then(Value::as_str),
+            Some("compute")
+        );
+        assert_eq!(
+            v.get("config")
+                .and_then(|c| c.get("checks"))
+                .and_then(|c| c.get("sum matches"))
+                .and_then(Value::as_bool),
+            Some(true)
+        );
+
+        let events = std::fs::read_to_string(dir.join("exp-unit.events.jsonl")).expect("events");
+        assert!(events.lines().count() >= 2, "phase enter + exit recorded");
+        for line in events.lines() {
+            Value::parse(line).expect("event line parses");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

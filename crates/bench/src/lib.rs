@@ -5,6 +5,10 @@
 //! the Criterion benches. See DESIGN.md §4 for the experiment index and
 //! EXPERIMENTS.md for recorded results.
 
+pub mod harness;
+
+pub use harness::Harness;
+
 use std::fmt::Write as _;
 
 /// Renders an ASCII table with a header row.
@@ -58,6 +62,14 @@ pub fn fmt(v: f64) -> String {
     }
 }
 
+/// Formats an error probability for axis labels. One shared precision for
+/// every experiment table (binaries used to disagree: `{:.0e}` in some,
+/// `{:.2e}` in others).
+#[must_use]
+pub fn fmt_prob(p: f64) -> String {
+    format!("{p:.1e}")
+}
+
 /// Prints a standard experiment banner.
 pub fn banner(id: &str, title: &str) {
     println!("==============================================================");
@@ -95,5 +107,11 @@ mod tests {
         assert_eq!(fmt(0.5), "0.5000");
         assert!(fmt(1e-6).contains('e'));
         assert!(fmt(123456.0).contains('e'));
+    }
+
+    #[test]
+    fn fmt_prob_one_shared_precision() {
+        assert_eq!(fmt_prob(1e-6), "1.0e-6");
+        assert_eq!(fmt_prob(2.5e-5), "2.5e-5");
     }
 }

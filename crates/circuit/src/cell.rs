@@ -148,9 +148,7 @@ impl CellKind {
                     inputs[0]
                 }
             }
-            CellKind::Maj3 => {
-                (inputs[0] && inputs[1]) || (inputs[0] && inputs[2]) || (inputs[1] && inputs[2])
-            }
+            CellKind::Maj3 => u8::from(inputs[0]) + u8::from(inputs[1]) + u8::from(inputs[2]) >= 2,
         }
     }
 
@@ -287,10 +285,7 @@ impl Library {
 
     /// Iterates over `(id, cell)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (CellId, &StandardCell)> {
-        self.cells
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (CellId(i), c))
+        self.cells.iter().enumerate().map(|(i, c)| (CellId(i), c))
     }
 
     /// The id of a cell of `kind` with drive closest to `drive`.
@@ -315,7 +310,12 @@ mod tests {
     use super::*;
 
     fn flat_lut(v: f64) -> Lut2d {
-        Lut2d::new(vec![10.0, 100.0], vec![1.0, 10.0], vec![vec![v, v], vec![v, v]]).unwrap()
+        Lut2d::new(
+            vec![10.0, 100.0],
+            vec![1.0, 10.0],
+            vec![vec![v, v], vec![v, v]],
+        )
+        .unwrap()
     }
 
     fn cell(name: &str, kind: CellKind, drive: f64) -> StandardCell {

@@ -150,9 +150,7 @@ pub fn she_as_delay_library(
         let mut values = vec![vec![0.0; loads.len()]; slews.len()];
         for (i, &s) in slews.iter().enumerate() {
             for (j, &l) in loads.iter().enumerate() {
-                values[i][j] = she
-                    .delta_t(cell.drive, s, l, she.default_activity)
-                    .value();
+                values[i][j] = she.delta_t(cell.drive, s, l, she.default_activity).value();
             }
         }
         lib.add(StandardCell {
@@ -197,8 +195,8 @@ mod tests {
     fn she_library_is_slower_than_plain() {
         let s = sim();
         let plain = characterize_library(&s, &Corner::default()).unwrap();
-        let she = characterize_library_with_she(&s, &Corner::default(), &SheModel::default())
-            .unwrap();
+        let she =
+            characterize_library_with_she(&s, &Corner::default(), &SheModel::default()).unwrap();
         // SHE heats devices, so delays must be >= everywhere we sample.
         let a = plain.cell(plain.find("NAND2_X1").unwrap());
         let b = she.cell(she.find("NAND2_X1").unwrap());

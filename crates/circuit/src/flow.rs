@@ -217,14 +217,8 @@ mod tests {
     #[test]
     fn flow_produces_ordered_guardbands() {
         let s = setup();
-        let report = run_she_flow(
-            &s.sim,
-            &s.lib,
-            &s.netlist,
-            &s.ml,
-            &SheFlowConfig::default(),
-        )
-        .unwrap();
+        let report =
+            run_she_flow(&s.sim, &s.lib, &s.netlist, &s.ml, &SheFlowConfig::default()).unwrap();
         // nominal <= accurate <= worst-case (allowing small ML noise).
         assert!(
             report.accurate.max_arrival_ps > report.nominal.max_arrival_ps * 0.98,
@@ -243,14 +237,8 @@ mod tests {
     #[test]
     fn per_instance_she_spreads_like_fig2() {
         let s = setup();
-        let report = run_she_flow(
-            &s.sim,
-            &s.lib,
-            &s.netlist,
-            &s.ml,
-            &SheFlowConfig::default(),
-        )
-        .unwrap();
+        let report =
+            run_she_flow(&s.sim, &s.lib, &s.netlist, &s.ml, &SheFlowConfig::default()).unwrap();
         let she = &report.instance_she_k;
         let min = she.iter().copied().fold(f64::INFINITY, f64::min);
         let max = she.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -262,14 +250,8 @@ mod tests {
     #[test]
     fn pessimism_reduction_is_positive() {
         let s = setup();
-        let report = run_she_flow(
-            &s.sim,
-            &s.lib,
-            &s.netlist,
-            &s.ml,
-            &SheFlowConfig::default(),
-        )
-        .unwrap();
+        let report =
+            run_she_flow(&s.sim, &s.lib, &s.netlist, &s.ml, &SheFlowConfig::default()).unwrap();
         let saving = report.pessimism_reduction();
         assert!(
             saving > 0.0 && saving <= 1.0,
@@ -280,14 +262,8 @@ mod tests {
     #[test]
     fn aging_shifts_are_plausible() {
         let s = setup();
-        let report = run_she_flow(
-            &s.sim,
-            &s.lib,
-            &s.netlist,
-            &s.ml,
-            &SheFlowConfig::default(),
-        )
-        .unwrap();
+        let report =
+            run_she_flow(&s.sim, &s.lib, &s.netlist, &s.ml, &SheFlowConfig::default()).unwrap();
         for &dv in &report.instance_delta_vth_v {
             assert!(dv > 0.0 && dv < 0.15, "ΔVth {dv} V");
         }

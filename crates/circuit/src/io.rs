@@ -16,14 +16,18 @@
 
 use crate::cell::Library;
 use crate::error::CircuitError;
-use crate::netlist::{Netlist, NetId};
+use crate::netlist::{NetId, Netlist};
 use std::fmt::Write as _;
 
 /// Serializes a netlist to the text format.
 #[must_use]
 pub fn write_netlist(netlist: &Netlist, lib: &Library) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# lori netlist: {} instances", netlist.instance_count());
+    let _ = writeln!(
+        out,
+        "# lori netlist: {} instances",
+        netlist.instance_count()
+    );
     for &ni in netlist.primary_inputs() {
         let _ = writeln!(out, "input n{}", ni.0);
     }
@@ -101,9 +105,7 @@ pub fn parse_netlist(text: &str, lib: &Library) -> Result<Netlist, CircuitError>
                 for tok in tokens {
                     if let Some(a) = tok.strip_prefix('@') {
                         activity = a.parse::<f64>().map_err(|_| {
-                            CircuitError::UnknownCell(format!(
-                                "line {lineno}: bad activity {tok}"
-                            ))
+                            CircuitError::UnknownCell(format!("line {lineno}: bad activity {tok}"))
                         })?;
                     } else {
                         let file_id = parse_net(tok)?;
@@ -124,13 +126,14 @@ pub fn parse_netlist(text: &str, lib: &Library) -> Result<Netlist, CircuitError>
                     CircuitError::UnknownCell(format!("line {lineno}: missing output net"))
                 })?;
                 let file_id = parse_net(name)?;
-                let net = net_map
-                    .get(&file_id)
-                    .copied()
-                    .ok_or(CircuitError::DanglingReference {
-                        what: "output net",
-                        index: file_id,
-                    })?;
+                let net =
+                    net_map
+                        .get(&file_id)
+                        .copied()
+                        .ok_or(CircuitError::DanglingReference {
+                            what: "output net",
+                            index: file_id,
+                        })?;
                 netlist.mark_output(net);
             }
             Some(other) => {
@@ -168,8 +171,14 @@ mod tests {
         let text = write_netlist(&original, lib());
         let parsed = parse_netlist(&text, lib()).unwrap();
         assert_eq!(parsed.instance_count(), original.instance_count());
-        assert_eq!(parsed.primary_inputs().len(), original.primary_inputs().len());
-        assert_eq!(parsed.primary_outputs().len(), original.primary_outputs().len());
+        assert_eq!(
+            parsed.primary_inputs().len(),
+            original.primary_inputs().len()
+        );
+        assert_eq!(
+            parsed.primary_outputs().len(),
+            original.primary_outputs().len()
+        );
         // Logic function must be identical.
         for trial in 0..16u64 {
             let inputs: Vec<bool> = (0..9).map(|b| (trial >> b) & 1 == 1).collect();

@@ -32,7 +32,11 @@ impl Lut2d {
     ///
     /// Returns [`CircuitError::InvalidGrid`] if either axis is empty or not
     /// strictly increasing, or the value matrix shape does not match.
-    pub fn new(slews: Vec<f64>, loads: Vec<f64>, values: Vec<Vec<f64>>) -> Result<Self, CircuitError> {
+    pub fn new(
+        slews: Vec<f64>,
+        loads: Vec<f64>,
+        values: Vec<Vec<f64>>,
+    ) -> Result<Self, CircuitError> {
         if slews.is_empty() || loads.is_empty() {
             return Err(CircuitError::InvalidGrid("empty axis"));
         }

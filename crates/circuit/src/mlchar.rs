@@ -101,7 +101,7 @@ impl MlCharacterizer {
             config.delta_t_range,
             config.delta_vth_range,
         ] {
-            if !(lo <= hi) {
+            if lo.is_nan() || hi.is_nan() || lo > hi {
                 return Err(CircuitError::InvalidParameter {
                     what: "sample range",
                     value: lo,
@@ -121,15 +121,24 @@ impl MlCharacterizer {
             let mut delays = Vec::with_capacity(config.samples_per_cell);
             let mut slews = Vec::with_capacity(config.samples_per_cell);
             for _ in 0..config.samples_per_cell {
-                let slew = rng.uniform_in(config.slew_range.0, config.slew_range.1.max(config.slew_range.0 + 1e-9));
-                let load = rng.uniform_in(config.load_range.0, config.load_range.1.max(config.load_range.0 + 1e-9));
+                let slew = rng.uniform_in(
+                    config.slew_range.0,
+                    config.slew_range.1.max(config.slew_range.0 + 1e-9),
+                );
+                let load = rng.uniform_in(
+                    config.load_range.0,
+                    config.load_range.1.max(config.load_range.0 + 1e-9),
+                );
                 let dt = rng.uniform_in(
                     config.delta_t_range.0,
                     config.delta_t_range.1.max(config.delta_t_range.0 + 1e-9),
                 );
                 let dvth = rng.uniform_in(
                     config.delta_vth_range.0,
-                    config.delta_vth_range.1.max(config.delta_vth_range.0 + 1e-9),
+                    config
+                        .delta_vth_range
+                        .1
+                        .max(config.delta_vth_range.0 + 1e-9),
                 );
                 let op = OperatingPoint {
                     slew_ps: slew,
@@ -147,8 +156,8 @@ impl MlCharacterizer {
             }
             let delay_ds = Dataset::from_rows(xs.clone(), delays)
                 .map_err(|e| CircuitError::Training(e.to_string()))?;
-            let slew_ds = Dataset::from_rows(xs, slews)
-                .map_err(|e| CircuitError::Training(e.to_string()))?;
+            let slew_ds =
+                Dataset::from_rows(xs, slews).map_err(|e| CircuitError::Training(e.to_string()))?;
             let delay = GradientBoostRegressor::fit(&delay_ds, &gb_cfg)
                 .map_err(|e| CircuitError::Training(e.to_string()))?;
             let out_slew = GradientBoostRegressor::fit(&slew_ds, &gb_cfg)
@@ -381,7 +390,9 @@ mod tests {
             .collect();
         let timings = ml.generate_instance_library(&nl, &contexts).unwrap();
         assert_eq!(timings.len(), nl.instance_count());
-        assert!(timings.iter().all(|t| t.delay_ps > 0.0 && t.out_slew_ps > 0.0));
+        assert!(timings
+            .iter()
+            .all(|t| t.delay_ps > 0.0 && t.out_slew_ps > 0.0));
         // Length mismatch rejected.
         assert!(ml.generate_instance_library(&nl, &contexts[1..]).is_err());
     }

@@ -350,8 +350,7 @@ pub fn array_multiplier(lib: &Library, bits: usize) -> Result<Netlist, CircuitEr
         // Add `row` to `running` with a ripple of full adders.
         let mut next = Vec::with_capacity(bits);
         let mut carry: Option<NetId> = None;
-        for j in 0..bits {
-            let x = row[j];
+        for (j, &x) in row.iter().enumerate().take(bits) {
             let y = running.get(j).copied();
             match (y, carry) {
                 (Some(y), Some(c)) => {
@@ -496,11 +495,11 @@ pub fn processor_datapath(lib: &Library, width: usize, seed: u64) -> Result<Netl
     let mut mult_running: Vec<NetId> = (0..half)
         .map(|j| nl.add_gate(g.and2, &[a[j], b[0]]))
         .collect();
-    for i in 1..half {
+    for &bi in b.iter().take(half).skip(1) {
         let mut next = Vec::with_capacity(half);
         let mut c: Option<NetId> = None;
-        for j in 0..half {
-            let ppij = nl.add_gate(g.and2, &[a[j], b[i]]);
+        for (j, &aj) in a.iter().enumerate().take(half) {
+            let ppij = nl.add_gate(g.and2, &[aj, bi]);
             let y = mult_running.get(j + 1).copied();
             match (y, c) {
                 (Some(y), Some(cc)) => {

@@ -99,14 +99,20 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_params() {
-        let mut m = SheModel::default();
-        m.rth_per_ff = 0.0;
+        let m = SheModel {
+            rth_per_ff: 0.0,
+            ..SheModel::default()
+        };
         assert!(m.validate().is_err());
-        let mut m = SheModel::default();
-        m.short_circuit_per_ps = -0.1;
+        let m = SheModel {
+            short_circuit_per_ps: -0.1,
+            ..SheModel::default()
+        };
         assert!(m.validate().is_err());
-        let mut m = SheModel::default();
-        m.default_activity = 0.0;
+        let m = SheModel {
+            default_activity: 0.0,
+            ..SheModel::default()
+        };
         assert!(m.validate().is_err());
     }
 

@@ -76,6 +76,7 @@ impl GoldenSimulator {
     /// switch (e.g. catastrophic aging).
     #[must_use]
     pub fn characterize(&self, kind: CellKind, drive: f64, op: &OperatingPoint) -> ArcTiming {
+        let _span = lori_obs::span("circuit.transient.characterize");
         let vdd = self.tech.vdd.value();
         let vth = self.tech.vth_at(op.temperature, op.delta_vth).value();
         if vth >= vdd {
@@ -123,7 +124,9 @@ impl GoldenSimulator {
         let mut t_out_90 = f64::NAN;
         let mut t_out_10 = f64::NAN;
 
+        let mut steps_taken = 0u64;
         for _ in 0..steps {
+            steps_taken += 1;
             // Input ramp 0 → Vdd over `slew`.
             let v_in = (vdd * t / slew).min(vdd);
             let overdrive = v_in - vth;
@@ -154,6 +157,7 @@ impl GoldenSimulator {
                 break;
             }
         }
+        lori_obs::counter("circuit.transient.steps").incr(steps_taken);
 
         if t_out_50.is_nan() {
             return ArcTiming {

@@ -152,6 +152,7 @@ fn run_inner(
     config: &StaConfig,
     overrides: Option<&[InstanceTiming]>,
 ) -> Result<StaReport, CircuitError> {
+    let _span = lori_obs::span("circuit.sta.run");
     netlist.validate(lib)?;
     let order = netlist.topological_order()?;
     let loads = net_loads(netlist, lib, config);
@@ -176,11 +177,7 @@ fn run_inner(
             .map(|n| (n, arrival[n.0]))
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite arrival"))
             .expect("cells have at least one input");
-        let in_slew = inst
-            .inputs
-            .iter()
-            .map(|n| slew[n.0])
-            .fold(0.0f64, f64::max);
+        let in_slew = inst.inputs.iter().map(|n| slew[n.0]).fold(0.0f64, f64::max);
         let load = loads[inst.output.0];
 
         let (delay, out_slew) = match overrides {
@@ -200,6 +197,7 @@ fn run_inner(
         slew[out] = out_slew;
         from_net[out] = Some(worst_in.0);
     }
+    lori_obs::counter("circuit.sta.instances").incr(n_inst as u64);
 
     // Critical endpoint: the latest primary output (fall back to global max
     // for netlists without marked outputs).
@@ -279,7 +277,7 @@ impl Guardband {
 mod tests {
     use super::*;
     use crate::characterize::{characterize_library, Corner};
-    use crate::netlist::{ripple_carry_adder, random_logic};
+    use crate::netlist::{random_logic, ripple_carry_adder};
     use crate::spicelike::GoldenSimulator;
     use crate::tech::TechParams;
     use lori_core::units::Volts;
@@ -344,8 +342,7 @@ mod tests {
                 out_slew_ps: 10.0,
             })
             .collect();
-        let fixed =
-            run_sta_with_overrides(&nl, lib(), &StaConfig::default(), &overrides).unwrap();
+        let fixed = run_sta_with_overrides(&nl, lib(), &StaConfig::default(), &overrides).unwrap();
         assert!(fixed.max_arrival_ps < base.max_arrival_ps);
         // Max arrival with unit delays = longest path in gate count.
         assert!((fixed.max_arrival_ps - fixed.critical_path.len() as f64).abs() < 1e-9);
@@ -394,9 +391,7 @@ mod tests {
     fn min_period_adds_margin() {
         let nl = ripple_carry_adder(lib(), 4).unwrap();
         let report = run_sta(&nl, lib(), &StaConfig::default()).unwrap();
-        assert!(
-            (report.min_period_ps(50.0) - report.max_arrival_ps - 50.0).abs() < 1e-12
-        );
+        assert!((report.min_period_ps(50.0) - report.max_arrival_ps - 50.0).abs() < 1e-12);
     }
 
     #[test]

@@ -145,20 +145,30 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_params() {
-        let mut p = TechParams::default();
-        p.vth0 = Volts(1.0);
+        let p = TechParams {
+            vth0: Volts(1.0),
+            ..TechParams::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = TechParams::default();
-        p.vdd = Volts(0.0);
+        let p = TechParams {
+            vdd: Volts(0.0),
+            ..TechParams::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = TechParams::default();
-        p.alpha = 3.0;
+        let p = TechParams {
+            alpha: 3.0,
+            ..TechParams::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = TechParams::default();
-        p.unit_current_ua = 0.0;
+        let p = TechParams {
+            unit_current_ua: 0.0,
+            ..TechParams::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = TechParams::default();
-        p.unit_pin_cap_ff = -1.0;
+        let p = TechParams {
+            unit_pin_cap_ff: -1.0,
+            ..TechParams::default()
+        };
         assert!(p.validate().is_err());
     }
 

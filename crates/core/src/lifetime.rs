@@ -105,10 +105,10 @@ impl Lifetime {
 pub fn gamma(x: f64) -> f64 {
     const G: f64 = 7.0;
     const COEF: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
@@ -192,8 +192,7 @@ mod tests {
         ] {
             let n = 100_000;
             #[allow(clippy::cast_precision_loss)]
-            let mean =
-                (0..n).map(|_| dist.sample(&mut rng).value()).sum::<f64>() / n as f64;
+            let mean = (0..n).map(|_| dist.sample(&mut rng).value()).sum::<f64>() / n as f64;
             let mttf = dist.mttf().value();
             assert!(
                 (mean - mttf).abs() / mttf < 0.02,

@@ -69,13 +69,7 @@ impl TrainingReport {
     /// Mean reward over the last `n` episodes (all, if fewer).
     #[must_use]
     pub fn recent_mean_reward(&self, n: usize) -> f64 {
-        let tail: Vec<f64> = self
-            .episode_rewards
-            .iter()
-            .rev()
-            .take(n)
-            .copied()
-            .collect();
+        let tail: Vec<f64> = self.episode_rewards.iter().rev().take(n).copied().collect();
         if tail.is_empty() {
             0.0
         } else {

@@ -41,19 +41,19 @@ pub fn no_error_probability(p: Probability, n_c: Cycles) -> Probability {
 /// (an AVF of zero would be "never fails", which is expressed as infinity by
 /// the caller, not here).
 pub fn mwtf(raw_error_rate: Fit, avf: f64, execution_time: Seconds) -> Result<f64, Error> {
-    if !(raw_error_rate.value() > 0.0) {
+    if raw_error_rate.value().is_nan() || raw_error_rate.value() <= 0.0 {
         return Err(Error::NonPositive {
             what: "raw error rate",
             value: raw_error_rate.value(),
         });
     }
-    if !(avf > 0.0 && avf.is_finite()) {
+    if !avf.is_finite() || avf <= 0.0 {
         return Err(Error::NonPositive {
             what: "AVF",
             value: avf,
         });
     }
-    if !(execution_time.value() > 0.0) {
+    if execution_time.value().is_nan() || execution_time.value() <= 0.0 {
         return Err(Error::NonPositive {
             what: "execution time",
             value: execution_time.value(),
@@ -115,8 +115,8 @@ impl Block {
         // Composite Simpson over [0, horizon] with enough panels.
         let n = 4096; // even
         let h = horizon / f64::from(n);
-        let mut acc = self.reliability(Seconds(0.0)).value()
-            + self.reliability(Seconds(horizon)).value();
+        let mut acc =
+            self.reliability(Seconds(0.0)).value() + self.reliability(Seconds(horizon)).value();
         for i in 1..n {
             let t = f64::from(i) * h;
             let w = if i % 2 == 1 { 4.0 } else { 2.0 };
@@ -130,9 +130,7 @@ impl Block {
     pub fn component_count(&self) -> usize {
         match self {
             Block::Component(_) => 1,
-            Block::Series(c) | Block::Parallel(c) => {
-                c.iter().map(Block::component_count).sum()
-            }
+            Block::Series(c) | Block::Parallel(c) => c.iter().map(Block::component_count).sum(),
         }
     }
 }
@@ -250,10 +248,7 @@ mod tests {
 
     #[test]
     fn component_count() {
-        let sys = Block::Series(vec![
-            exp(0.2),
-            Block::Parallel(vec![exp(0.5), exp(0.5)]),
-        ]);
+        let sys = Block::Series(vec![exp(0.2), Block::Parallel(vec![exp(0.5), exp(0.5)])]);
         assert_eq!(sys.component_count(), 3);
     }
 

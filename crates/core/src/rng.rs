@@ -123,8 +123,8 @@ impl Rng {
             return 0;
         }
         let u = 1.0 - self.uniform(); // in (0, 1]
-        // ln_1p keeps precision for q near 0 AND avoids ln(1-q) rounding to
-        // ln(1) = 0 for q below ~1e-16 (which would wrongly yield 0).
+                                      // ln_1p keeps precision for q near 0 AND avoids ln(1-q) rounding to
+                                      // ln(1) = 0 for q below ~1e-16 (which would wrongly yield 0).
         let k = (u.ln() / (-q).ln_1p()).floor();
         if k.is_finite() && k >= 0.0 {
             // Cap at u64::MAX; astronomically unlikely to matter.

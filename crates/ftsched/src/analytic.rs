@@ -176,10 +176,9 @@ mod tests {
         let mut prev = 1.0;
         for &p in &[1e-8, 1e-7, 1e-6, 1e-5, 1e-4] {
             let errors = ErrorModel::new(p).expect("p");
-            let hit =
-                segment_hit_probability(Cycles(150_000), Cycles(270_000), &errors, &sys, &cp)
-                    .expect("probability")
-                    .value();
+            let hit = segment_hit_probability(Cycles(150_000), Cycles(270_000), &errors, &sys, &cp)
+                .expect("probability")
+                .value();
             assert!(hit <= prev + 1e-12, "p={p}: {hit} > {prev}");
             prev = hit;
         }
@@ -191,9 +190,8 @@ mod tests {
         let errors = ErrorModel::new(0.0).expect("p");
         for &alg in &BudgetAlgorithm::ALL {
             let sys = MitigationSystem::new(alg);
-            let hit =
-                segment_hit_probability(Cycles(200_000), Cycles(270_000), &errors, &sys, &cp)
-                    .expect("probability");
+            let hit = segment_hit_probability(Cycles(200_000), Cycles(270_000), &errors, &sys, &cp)
+                .expect("probability");
             assert!((hit.value() - 1.0).abs() < 1e-12, "{}", alg.label());
         }
     }

@@ -122,7 +122,9 @@ impl CheckpointSystem {
     /// Fault-free cycles for a segment (work + checkpoints).
     #[must_use]
     pub fn fault_free_cycles(&self, work: Cycles) -> Cycles {
-        Cycles(work.value() + u64::from(self.checkpoints_per_segment) * self.checkpoint_cycles.value())
+        Cycles(
+            work.value() + u64::from(self.checkpoints_per_segment) * self.checkpoint_cycles.value(),
+        )
     }
 }
 
@@ -150,7 +152,11 @@ mod tests {
         let n = 20_000;
         #[allow(clippy::cast_precision_loss)]
         let mean = (0..n)
-            .map(|_| sys.execute_segment(work, &errors, &mut rng).total_cycles.as_f64())
+            .map(|_| {
+                sys.execute_segment(work, &errors, &mut rng)
+                    .total_cycles
+                    .as_f64()
+            })
             .sum::<f64>()
             / f64::from(n);
         let expect = sys.expected_cycles(work, &errors);
@@ -184,9 +190,7 @@ mod tests {
         };
         let errors = ErrorModel::new(2e-5).unwrap();
         let work = Cycles(270_000);
-        assert!(
-            fine.expected_cycles(work, &errors) < coarse.expected_cycles(work, &errors)
-        );
+        assert!(fine.expected_cycles(work, &errors) < coarse.expected_cycles(work, &errors));
     }
 
     #[test]
@@ -199,9 +203,7 @@ mod tests {
         };
         let errors = ErrorModel::new(1e-9).unwrap();
         let work = Cycles(270_000);
-        assert!(
-            coarse.expected_cycles(work, &errors) < fine.expected_cycles(work, &errors)
-        );
+        assert!(coarse.expected_cycles(work, &errors) < fine.expected_cycles(work, &errors));
     }
 
     #[test]

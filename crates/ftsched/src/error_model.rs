@@ -157,9 +157,7 @@ mod tests {
         let hi = ErrorModel::new(1e-5).unwrap();
         let nc = Cycles(100_000);
         assert!(hi.expected_rollbacks(nc) > lo.expected_rollbacks(nc));
-        assert!(
-            hi.expected_rollbacks(Cycles(270_000)) > hi.expected_rollbacks(Cycles(40_000))
-        );
+        assert!(hi.expected_rollbacks(Cycles(270_000)) > hi.expected_rollbacks(Cycles(40_000)));
     }
 
     #[test]

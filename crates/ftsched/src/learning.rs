@@ -76,7 +76,7 @@ impl LearnedBudget {
     /// Records an observation and refits when due.
     pub fn observe(&mut self, fault_free: Cycles, actual: Cycles) {
         self.history.push((fault_free.as_f64(), actual.as_f64()));
-        if self.history.len() % self.refit_every == 0 && self.history.len() >= 8 {
+        if self.history.len().is_multiple_of(self.refit_every) && self.history.len() >= 8 {
             let rows: Vec<Vec<f64>> = self.history.iter().map(|&(x, _)| vec![x]).collect();
             let ys: Vec<f64> = self.history.iter().map(|&(_, y)| y).collect();
             if let Ok(ds) = Dataset::from_rows(rows, ys) {

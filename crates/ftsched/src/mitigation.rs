@@ -121,9 +121,7 @@ impl MitigationSystem {
     pub fn budget(&self, fault_free: Cycles, wcet_fault_free: Cycles) -> Cycles {
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         match self.algorithm {
-            BudgetAlgorithm::Wcet => {
-                Cycles((wcet_fault_free.as_f64() * self.ds_margin) as u64)
-            }
+            BudgetAlgorithm::Wcet => Cycles((wcet_fault_free.as_f64() * self.ds_margin) as u64),
             alg => Cycles((fault_free.as_f64() * self.ds_margin * alg.scale()) as u64),
         }
     }
@@ -288,7 +286,13 @@ mod tests {
         // Five cheap fault-free segments build slack…
         for _ in 0..5 {
             let work = Cycles(40_000);
-            assert!(tracker.advance(&wcet, work, Cycles(270_000), cp.fault_free_cycles(work), &cp));
+            assert!(tracker.advance(
+                &wcet,
+                work,
+                Cycles(270_000),
+                cp.fault_free_cycles(work),
+                &cp
+            ));
         }
         assert!(tracker.slack(&wcet) > 1_000_000.0);
         // …which then swallows four rollbacks of a big segment.

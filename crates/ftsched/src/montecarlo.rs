@@ -87,9 +87,14 @@ pub fn sweep(
 
     let mut root = Rng::from_seed(config.seed);
     let mut points = Vec::with_capacity(p_values.len());
+    let _sweep_span = lori_obs::span("ftsched.sweep");
+    let rollback_counter = lori_obs::counter("ftsched.rollbacks");
+    let deadline_miss_counter = lori_obs::counter("ftsched.deadline_misses");
     for (pi, &p) in p_values.iter().enumerate() {
+        let _point_span = lori_obs::span_with("ftsched.sweep.point", p);
         let errors = ErrorModel::new(p)?;
         let mut rollback_runs = Running::new();
+        let mut point_rollbacks = 0u64;
         let mut hits = [0u64; 4];
         let mut segments_total = 0u64;
         let mut cycles_actual = 0.0f64;
@@ -113,9 +118,13 @@ pub fn sweep(
                     }
                 }
             }
+            point_rollbacks = point_rollbacks.saturating_add(run_rollbacks);
             #[allow(clippy::cast_precision_loss)]
             rollback_runs.push(run_rollbacks as f64 / trace.len() as f64);
         }
+        // One aggregated increment per point keeps the inner loop clean.
+        rollback_counter.incr(point_rollbacks);
+        deadline_miss_counter.incr(4 * segments_total - hits.iter().sum::<u64>());
         #[allow(clippy::cast_precision_loss)]
         let per_alg_total = segments_total as f64;
         #[allow(clippy::cast_precision_loss)]

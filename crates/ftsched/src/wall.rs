@@ -33,9 +33,8 @@ pub fn find_wall(
         .iter()
         .position(|&a| a == algorithm)
         .expect("algorithm in catalog");
-    let hit_at = |p: f64| -> Result<f64, FtError> {
-        Ok(sweep(&[p], trace, config)?[0].hit_rate[alg_index])
-    };
+    let hit_at =
+        |p: f64| -> Result<f64, FtError> { Ok(sweep(&[p], trace, config)?[0].hit_rate[alg_index]) };
     let hi_rate = hit_at(p_lo)?;
     let lo_rate = hit_at(p_hi)?;
     if hi_rate < 0.5 || lo_rate > 0.5 {
@@ -152,8 +151,7 @@ mod tests {
     #[test]
     fn more_speed_headroom_moves_the_wall_forward() {
         let trace = adpcm_reference_trace();
-        let rows =
-            wall_sensitivity(&trace, &quick(), &[1.5, 3.0], &[]).unwrap();
+        let rows = wall_sensitivity(&trace, &quick(), &[1.5, 3.0], &[]).unwrap();
         assert_eq!(rows.len(), 2);
         // More headroom → wall at higher p for every algorithm.
         for alg in 0..4 {
@@ -170,8 +168,6 @@ mod tests {
     fn unbracketed_interval_errors() {
         let trace = adpcm_reference_trace();
         // Interval entirely above the wall: hit rate < 0.5 at both ends.
-        assert!(
-            find_wall(BudgetAlgorithm::Ds, &trace, &quick(), 1e-4, 1e-3, 4).is_err()
-        );
+        assert!(find_wall(BudgetAlgorithm::Ds, &trace, &quick(), 1e-4, 1e-3, 4).is_err());
     }
 }

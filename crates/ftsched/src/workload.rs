@@ -38,8 +38,7 @@ pub fn adpcm_reference_trace() -> Vec<Cycles> {
             let t = t * t * t;
             #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             Cycles(
-                MIN_SEGMENT_CYCLES
-                    + ((MAX_SEGMENT_CYCLES - MIN_SEGMENT_CYCLES) as f64 * t) as u64,
+                MIN_SEGMENT_CYCLES + ((MAX_SEGMENT_CYCLES - MIN_SEGMENT_CYCLES) as f64 * t) as u64,
             )
         })
         .collect()
@@ -55,7 +54,11 @@ pub fn random_trace(n: usize, rng: &mut Rng) -> Result<Vec<Cycles>, FtError> {
     if n == 0 {
         return Err(FtError::EmptyTrace);
     }
-    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
     Ok((0..n)
         .map(|_| {
             let lo = (MIN_SEGMENT_CYCLES as f64).ln();

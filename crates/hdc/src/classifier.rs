@@ -259,7 +259,12 @@ mod tests {
 
     #[test]
     fn constant_feature_handled() {
-        let xs = vec![vec![1.0, 0.0], vec![1.0, 0.1], vec![1.0, 5.0], vec![1.0, 5.1]];
+        let xs = vec![
+            vec![1.0, 0.0],
+            vec![1.0, 0.1],
+            vec![1.0, 5.0],
+            vec![1.0, 5.1],
+        ];
         let ys = vec![0, 0, 1, 1];
         let clf = HdcClassifier::fit(&xs, &ys, &HdcClassifierConfig::default()).unwrap();
         assert_eq!(clf.predict(&[1.0, 0.05]), 0);

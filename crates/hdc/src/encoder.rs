@@ -85,7 +85,7 @@ impl LevelEncoder {
         if dim == 0 {
             return Err(HdcError::ZeroDimension);
         }
-        if !(low < high) {
+        if low.is_nan() || high.is_nan() || low >= high {
             return Err(HdcError::InvalidEncoder("low must be below high"));
         }
         if levels < 2 {
@@ -130,7 +130,11 @@ impl LevelEncoder {
     #[must_use]
     pub fn level_of(&self, value: f64) -> usize {
         let t = ((value - self.low) / (self.high - self.low)).clamp(0.0, 1.0);
-        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
         {
             ((t * (self.levels.len() - 1) as f64).round() as usize).min(self.levels.len() - 1)
         }

@@ -60,15 +60,11 @@ impl HdcRegressor {
     /// Returns [`HdcError::EmptyTrainingSet`] for empty/mismatched input or
     /// [`HdcError::InvalidEncoder`] for degenerate configurations (zero
     /// buckets, constant targets are handled by widening the range).
-    pub fn fit(
-        xs: &[Vec<f64>],
-        ys: &[f64],
-        config: &HdcRegressorConfig,
-    ) -> Result<Self, HdcError> {
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], config: &HdcRegressorConfig) -> Result<Self, HdcError> {
         if xs.is_empty() || xs.len() != ys.len() {
             return Err(HdcError::EmptyTrainingSet);
         }
-        if config.buckets == 0 || !(config.sharpness > 0.0) {
+        if config.buckets == 0 || config.sharpness.is_nan() || config.sharpness <= 0.0 {
             return Err(HdcError::InvalidEncoder("buckets/sharpness"));
         }
         let d = xs[0].len();
@@ -89,10 +85,11 @@ impl HdcRegressor {
         let mut rng = Rng::from_seed(config.seed ^ 0x4E67_BEEF);
         let tie = BinaryHv::random(config.dim, &mut rng);
 
-        let (mut y_lo, mut y_hi) = ys.iter().fold(
-            (f64::INFINITY, f64::NEG_INFINITY),
-            |(lo, hi), &y| (lo.min(y), hi.max(y)),
-        );
+        let (mut y_lo, mut y_hi) = ys
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &y| {
+                (lo.min(y), hi.max(y))
+            });
         if y_hi - y_lo < 1e-12 {
             y_lo -= 0.5;
             y_hi += 0.5;
@@ -103,9 +100,12 @@ impl HdcRegressor {
         let mut sums = vec![0.0f64; b];
         let mut counts = vec![0usize; b];
         for (row, &y) in xs.iter().zip(ys) {
-            #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-            let bucket =
-                (((y - y_lo) / (y_hi - y_lo) * b as f64).floor() as usize).min(b - 1);
+            #[allow(
+                clippy::cast_precision_loss,
+                clippy::cast_possible_truncation,
+                clippy::cast_sign_loss
+            )]
+            let bucket = (((y - y_lo) / (y_hi - y_lo) * b as f64).floor() as usize).min(b - 1);
             accs[bucket].add(&encoder.encode(row));
             sums[bucket] += y;
             counts[bucket] += 1;
@@ -140,11 +140,7 @@ impl HdcRegressor {
     #[must_use]
     pub fn predict_encoded(&self, hv: &BinaryHv) -> f64 {
         // Softmax over similarities, weighted sum of bucket centers.
-        let sims: Vec<f64> = self
-            .prototypes
-            .iter()
-            .map(|p| p.similarity(hv))
-            .collect();
+        let sims: Vec<f64> = self.prototypes.iter().map(|p| p.similarity(hv)).collect();
         let max = sims.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let mut wsum = 0.0;
         let mut total = 0.0;
@@ -201,7 +197,10 @@ mod tests {
         let hi = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         for q in [-1.0, 0.0, 0.5, 1.0, 2.0] {
             let p = reg.predict(&[q]);
-            assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "prediction {p} outside [{lo}, {hi}]");
+            assert!(
+                p >= lo - 1e-9 && p <= hi + 1e-9,
+                "prediction {p} outside [{lo}, {hi}]"
+            );
         }
     }
 

@@ -53,25 +53,22 @@ impl Stump {
                 .iter()
                 .map(|&i| if signs[i] > 0.0 { weights[i] } else { 0.0 })
                 .sum();
-            let consider = |err_plus: f64,
-                            thr: f64,
-                            f: usize,
-                            best: &mut Stump,
-                            best_err: &mut f64| {
-                let (err, sign) = if err_plus <= 1.0 - err_plus {
-                    (err_plus, 1.0)
-                } else {
-                    (1.0 - err_plus, -1.0)
-                };
-                if err < *best_err {
-                    *best_err = err;
-                    *best = Stump {
-                        feature: f,
-                        threshold: thr,
-                        left_sign: sign,
+            let consider =
+                |err_plus: f64, thr: f64, f: usize, best: &mut Stump, best_err: &mut f64| {
+                    let (err, sign) = if err_plus <= 1.0 - err_plus {
+                        (err_plus, 1.0)
+                    } else {
+                        (1.0 - err_plus, -1.0)
                     };
-                }
-            };
+                    if err < *best_err {
+                        *best_err = err;
+                        *best = Stump {
+                            feature: f,
+                            threshold: thr,
+                            left_sign: sign,
+                        };
+                    }
+                };
             consider(err_plus, f64::NEG_INFINITY, f, &mut best, &mut best_err);
             for w in 0..order.len() {
                 let i = order[w];
@@ -126,10 +123,13 @@ impl AdaBoost {
             return Err(MlError::InvalidHyperparameter("rounds"));
         }
         let ys = ds.class_targets();
-        if !ys.iter().any(|&y| y == 0) || !ys.iter().any(|&y| y == 1) {
+        if !ys.contains(&0) || !ys.contains(&1) {
             return Err(MlError::SingleClass);
         }
-        let signs: Vec<f64> = ys.iter().map(|&y| if y == 1 { 1.0 } else { -1.0 }).collect();
+        let signs: Vec<f64> = ys
+            .iter()
+            .map(|&y| if y == 1 { 1.0 } else { -1.0 })
+            .collect();
         let n = ds.len();
         #[allow(clippy::cast_precision_loss)]
         let mut weights = vec![1.0 / n as f64; n];
@@ -175,10 +175,7 @@ impl AdaBoost {
     #[must_use]
     pub fn decision(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.n_features, "feature count mismatch");
-        self.stumps
-            .iter()
-            .map(|(a, s)| a * s.predict_sign(x))
-            .sum()
+        self.stumps.iter().map(|(a, s)| a * s.predict_sign(x)).sum()
     }
 
     /// Number of boosting rounds actually performed.
@@ -238,7 +235,7 @@ impl GradientBoostRegressor {
     /// Returns [`MlError::InvalidHyperparameter`] for zero stages or a
     /// non-positive learning rate.
     pub fn fit(ds: &Dataset, config: &GradientBoostConfig) -> Result<Self, MlError> {
-        if config.stages == 0 || !(config.learning_rate > 0.0) {
+        if config.stages == 0 || config.learning_rate.is_nan() || config.learning_rate <= 0.0 {
             return Err(MlError::InvalidHyperparameter("gradient boost config"));
         }
         #[allow(clippy::cast_precision_loss)]
@@ -280,9 +277,7 @@ impl GradientBoostRegressor {
 
 impl Regressor for GradientBoostRegressor {
     fn predict(&self, x: &[f64]) -> f64 {
-        self.base
-            + self.learning_rate
-                * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
+        self.base + self.learning_rate * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
     }
 }
 
@@ -304,7 +299,7 @@ impl GradientBoostClassifier {
     /// Returns [`MlError::SingleClass`] or
     /// [`MlError::InvalidHyperparameter`].
     pub fn fit(ds: &Dataset, config: &GradientBoostConfig) -> Result<Self, MlError> {
-        if config.stages == 0 || !(config.learning_rate > 0.0) {
+        if config.stages == 0 || config.learning_rate.is_nan() || config.learning_rate <= 0.0 {
             return Err(MlError::InvalidHyperparameter("gradient boost config"));
         }
         let ys = ds.class_targets();
@@ -358,8 +353,7 @@ impl GradientBoostClassifier {
     pub fn probability(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.n_features, "feature count mismatch");
         let z = self.base_logit
-            + self.learning_rate
-                * self.trees.iter().map(|t| t.predict(x)).sum::<f64>();
+            + self.learning_rate * self.trees.iter().map(|t| t.predict(x)).sum::<f64>();
         1.0 / (1.0 + (-z).exp())
     }
 }

@@ -133,22 +133,20 @@ impl Dataset {
     ///
     /// Returns [`MlError::InvalidHyperparameter`] if `train_fraction` is not
     /// in `(0, 1)` or the dataset has fewer than two samples.
-    pub fn split(
-        &self,
-        train_fraction: f64,
-        rng: &mut Rng,
-    ) -> Result<(Dataset, Dataset), MlError> {
+    pub fn split(&self, train_fraction: f64, rng: &mut Rng) -> Result<(Dataset, Dataset), MlError> {
         if !(train_fraction > 0.0 && train_fraction < 1.0) {
             return Err(MlError::InvalidHyperparameter("train_fraction"));
         }
         if self.len() < 2 {
-            return Err(MlError::InvalidHyperparameter(
-                "dataset too small to split",
-            ));
+            return Err(MlError::InvalidHyperparameter("dataset too small to split"));
         }
         let mut idx: Vec<usize> = (0..self.len()).collect();
         rng.shuffle(&mut idx);
-        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
         let cut = ((self.len() as f64 * train_fraction).round() as usize).clamp(1, self.len() - 1);
         Ok((self.subset(&idx[..cut]), self.subset(&idx[cut..])))
     }
@@ -446,8 +444,7 @@ mod tests {
 
     #[test]
     fn standard_scaler_constant_feature() {
-        let ds =
-            Dataset::from_rows(vec![vec![5.0], vec![5.0], vec![5.0]], vec![0.0; 3]).unwrap();
+        let ds = Dataset::from_rows(vec![vec![5.0], vec![5.0], vec![5.0]], vec![0.0; 3]).unwrap();
         let sc = StandardScaler::fit(&ds).unwrap();
         let t = sc.transform(&ds);
         for r in t.features() {

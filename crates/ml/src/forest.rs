@@ -183,7 +183,11 @@ mod tests {
         let train = spiral(500, 1);
         let test = spiral(200, 2);
         let forest = RandomForest::fit(&train, &ForestConfig::default()).unwrap();
-        let acc = accuracy(&test.class_targets(), &forest.predict_batch(test.features())).unwrap();
+        let acc = accuracy(
+            &test.class_targets(),
+            &forest.predict_batch(test.features()),
+        )
+        .unwrap();
         assert!(acc > 0.85, "accuracy {acc}");
     }
 

@@ -173,10 +173,7 @@ mod tests {
         let mut rows = Vec::new();
         for _ in 0..300 {
             let (cx, cy) = centers[rng.below(3) as usize];
-            rows.push(vec![
-                rng.normal_with(cx, 0.5),
-                rng.normal_with(cy, 0.5),
-            ]);
+            rows.push(vec![rng.normal_with(cx, 0.5), rng.normal_with(cy, 0.5)]);
         }
         let n = rows.len();
         Dataset::from_rows(rows, vec![0.0; n]).unwrap()
@@ -227,11 +224,7 @@ mod tests {
 
     #[test]
     fn k_equals_n_gives_zero_inertia() {
-        let ds = Dataset::from_rows(
-            vec![vec![0.0], vec![5.0], vec![10.0]],
-            vec![0.0; 3],
-        )
-        .unwrap();
+        let ds = Dataset::from_rows(vec![vec![0.0], vec![5.0], vec![10.0]], vec![0.0; 3]).unwrap();
         let mut rng = Rng::from_seed(9);
         let km = KMeans::fit(&ds, 3, 100, &mut rng).unwrap();
         assert!(km.inertia() < 1e-12);

@@ -104,7 +104,10 @@ impl Regressor for KnnRegressor {
         let ns = self.inner.neighbours(x);
         #[allow(clippy::cast_precision_loss)]
         let k = ns.len() as f64;
-        ns.iter().map(|&i| self.inner.data.targets()[i]).sum::<f64>() / k
+        ns.iter()
+            .map(|&i| self.inner.data.targets()[i])
+            .sum::<f64>()
+            / k
     }
 }
 

@@ -46,7 +46,7 @@ impl LinearRegression {
         }
         let d = ds.n_features();
         let dim = d + 1; // + bias
-        // Build A = XᵀX + λI and b = Xᵀy with the bias as an extra all-ones column.
+                         // Build A = XᵀX + λI and b = Xᵀy with the bias as an extra all-ones column.
         let mut a = vec![vec![0.0f64; dim]; dim];
         let mut b = vec![0.0f64; dim];
         for (row, &y) in ds.features().iter().zip(ds.targets()) {
@@ -59,9 +59,11 @@ impl LinearRegression {
                 }
             }
         }
-        for i in 0..dim {
-            for j in 0..i {
-                a[i][j] = a[j][i];
+        // Mirror the upper triangle into the lower.
+        for i in 1..dim {
+            let (above, rest) = a.split_at_mut(i);
+            for (j, above_row) in above.iter().enumerate() {
+                rest[0][j] = above_row[i];
             }
         }
         for (i, row) in a.iter_mut().enumerate().take(d) {
@@ -119,8 +121,10 @@ pub(crate) fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, M
             if f == 0.0 {
                 continue;
             }
-            for k in col..n {
-                a[row][k] -= f * a[col][k];
+            let (head, tail) = a.split_at_mut(row);
+            let (pivot_row, cur_row) = (&head[col], &mut tail[0]);
+            for (cur, &piv) in cur_row.iter_mut().zip(pivot_row).skip(col) {
+                *cur -= f * piv;
             }
             b[row] -= f * b[col];
         }
@@ -144,11 +148,8 @@ mod tests {
 
     #[test]
     fn recovers_exact_line() {
-        let ds = Dataset::from_rows(
-            vec![vec![0.0], vec![1.0], vec![2.0]],
-            vec![1.0, 3.0, 5.0],
-        )
-        .unwrap();
+        let ds =
+            Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![2.0]], vec![1.0, 3.0, 5.0]).unwrap();
         let m = LinearRegression::fit(&ds, 0.0).unwrap();
         assert!((m.weights()[0] - 2.0).abs() < 1e-9);
         assert!((m.bias() - 1.0).abs() < 1e-9);
@@ -158,7 +159,13 @@ mod tests {
     fn recovers_multivariate_plane() {
         let mut rng = Rng::from_seed(10);
         let rows: Vec<Vec<f64>> = (0..200)
-            .map(|_| vec![rng.uniform_in(-5.0, 5.0), rng.uniform_in(-5.0, 5.0), rng.uniform_in(-5.0, 5.0)])
+            .map(|_| {
+                vec![
+                    rng.uniform_in(-5.0, 5.0),
+                    rng.uniform_in(-5.0, 5.0),
+                    rng.uniform_in(-5.0, 5.0),
+                ]
+            })
             .collect();
         let ys: Vec<f64> = rows
             .iter()

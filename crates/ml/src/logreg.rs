@@ -42,11 +42,15 @@ impl LogisticRegression {
     /// Returns [`MlError::SingleClass`] if only one class is present,
     /// or [`MlError::InvalidHyperparameter`] for invalid config values.
     pub fn fit(ds: &Dataset, config: &LogisticConfig) -> Result<Self, MlError> {
-        if !(config.learning_rate > 0.0) || config.epochs == 0 || config.l2 < 0.0 {
+        if config.learning_rate.is_nan()
+            || config.learning_rate <= 0.0
+            || config.epochs == 0
+            || config.l2 < 0.0
+        {
             return Err(MlError::InvalidHyperparameter("logistic config"));
         }
         let ys = ds.class_targets();
-        if !ys.iter().any(|&y| y == 0) || !ys.iter().any(|&y| y == 1) {
+        if !ys.contains(&0) || !ys.contains(&1) {
             return Err(MlError::SingleClass);
         }
         let d = ds.n_features();
@@ -71,7 +75,10 @@ impl LogisticRegression {
             }
             b -= config.learning_rate * gb / n;
         }
-        Ok(LogisticRegression { weights: w, bias: b })
+        Ok(LogisticRegression {
+            weights: w,
+            bias: b,
+        })
     }
 
     /// Probability of class 1.
@@ -82,15 +89,7 @@ impl LogisticRegression {
     #[must_use]
     pub fn probability(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.weights.len(), "feature count mismatch");
-        sigmoid(
-            self.bias
-                + self
-                    .weights
-                    .iter()
-                    .zip(x)
-                    .map(|(w, v)| w * v)
-                    .sum::<f64>(),
-        )
+        sigmoid(self.bias + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>())
     }
 
     /// The learned feature weights.

@@ -73,11 +73,7 @@ pub fn f1_score(truth: &[usize], pred: &[usize], positive: usize) -> Result<f64,
 /// Returns [`MlError::TargetMismatch`] or [`MlError::EmptyDataset`].
 pub fn confusion_matrix(truth: &[usize], pred: &[usize]) -> Result<Vec<Vec<usize>>, MlError> {
     check(truth.len(), pred.len())?;
-    let n = truth
-        .iter()
-        .chain(pred)
-        .max()
-        .map_or(0, |m| m + 1);
+    let n = truth.iter().chain(pred).max().map_or(0, |m| m + 1);
     let mut m = vec![vec![0usize; n]; n];
     for (&t, &p) in truth.iter().zip(pred) {
         m[t][p] += 1;

@@ -174,11 +174,12 @@ impl Mlp {
     /// [`MlError::SingleClass`] when a classification head sees classes
     /// outside `0..n_classes`.
     pub fn fit(ds: &Dataset, config: &MlpConfig) -> Result<Self, MlError> {
-        if !(config.learning_rate > 0.0)
+        if config.learning_rate.is_nan()
+            || config.learning_rate <= 0.0
             || !(0.0..1.0).contains(&config.momentum)
             || config.epochs == 0
             || config.batch_size == 0
-            || config.hidden.iter().any(|&h| h == 0)
+            || config.hidden.contains(&0)
         {
             return Err(MlError::InvalidHyperparameter("mlp config"));
         }
@@ -208,7 +209,10 @@ impl Mlp {
         let mut order: Vec<usize> = (0..ds.len()).collect();
         let mut loss_history = Vec::with_capacity(config.epochs);
 
-        for _ in 0..config.epochs {
+        let loss_gauge = lori_obs::gauge("ml.train.loss");
+        for epoch in 0..config.epochs {
+            #[allow(clippy::cast_precision_loss)]
+            let _epoch_span = lori_obs::span_with("ml.train.epoch", epoch as f64);
             rng.shuffle(&mut order);
             let mut epoch_loss = 0.0;
             for chunk in order.chunks(config.batch_size) {
@@ -283,30 +287,24 @@ impl Mlp {
                 #[allow(clippy::cast_precision_loss)]
                 let scale = config.learning_rate / chunk.len() as f64;
                 for (layer, (gwl, gbl)) in layers.iter_mut().zip(gw.iter().zip(&gb)) {
-                    for ((wrow, vrow), grow) in layer
-                        .weights
-                        .iter_mut()
-                        .zip(layer.vw.iter_mut())
-                        .zip(gwl)
+                    for ((wrow, vrow), grow) in
+                        layer.weights.iter_mut().zip(layer.vw.iter_mut()).zip(gwl)
                     {
                         for ((w, v), &g) in wrow.iter_mut().zip(vrow.iter_mut()).zip(grow) {
                             *v = config.momentum * *v - scale * g;
                             *w += *v;
                         }
                     }
-                    for ((b, v), &g) in layer
-                        .biases
-                        .iter_mut()
-                        .zip(layer.vb.iter_mut())
-                        .zip(gbl)
-                    {
+                    for ((b, v), &g) in layer.biases.iter_mut().zip(layer.vb.iter_mut()).zip(gbl) {
                         *v = config.momentum * *v - scale * g;
                         *b += *v;
                     }
                 }
             }
             #[allow(clippy::cast_precision_loss)]
-            loss_history.push(epoch_loss / ds.len() as f64);
+            let mean_loss = epoch_loss / ds.len() as f64;
+            loss_gauge.set(mean_loss);
+            loss_history.push(mean_loss);
         }
 
         Ok(Mlp {

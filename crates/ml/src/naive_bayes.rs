@@ -94,11 +94,7 @@ impl GaussianNb {
     /// Panics if `x` has the wrong number of features.
     #[must_use]
     pub fn log_likelihoods(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(
-            x.len(),
-            self.means[0].len(),
-            "feature count mismatch"
-        );
+        assert_eq!(x.len(), self.means[0].len(), "feature count mismatch");
         self.log_priors
             .iter()
             .enumerate()
@@ -131,10 +127,7 @@ impl ProbabilisticClassifier for GaussianNb {
     /// assumption).
     fn scores(&self, x: &[f64]) -> Vec<f64> {
         let ll = self.log_likelihoods(x);
-        let max = ll
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let max = ll.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let exps: Vec<f64> = ll.iter().map(|&l| (l - max).exp()).collect();
         let sum: f64 = exps.iter().sum();
         exps.into_iter().map(|e| e / sum).collect()
@@ -192,7 +185,12 @@ mod tests {
     #[test]
     fn handles_zero_variance_feature() {
         let ds = Dataset::from_rows(
-            vec![vec![1.0, 0.0], vec![1.0, 0.1], vec![2.0, 5.0], vec![2.0, 5.1]],
+            vec![
+                vec![1.0, 0.0],
+                vec![1.0, 0.1],
+                vec![2.0, 5.0],
+                vec![2.0, 5.1],
+            ],
             vec![0.0, 0.0, 1.0, 1.0],
         )
         .unwrap();

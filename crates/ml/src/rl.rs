@@ -261,7 +261,7 @@ impl Discretizer {
             return Err(MlError::InvalidHyperparameter("dimensions"));
         }
         for &(lo, hi, bins) in &dims {
-            if !(lo < hi) || bins == 0 {
+            if lo.is_nan() || hi.is_nan() || lo >= hi || bins == 0 {
                 return Err(MlError::InvalidHyperparameter("dimension range/bins"));
             }
         }
@@ -427,7 +427,10 @@ mod tests {
     #[test]
     fn discretizer_distinct_cells() {
         let d = Discretizer::new(vec![(0.0, 4.0, 4)]).unwrap();
-        let idx: Vec<usize> = [0.5, 1.5, 2.5, 3.5].iter().map(|&x| d.index(&[x])).collect();
+        let idx: Vec<usize> = [0.5, 1.5, 2.5, 3.5]
+            .iter()
+            .map(|&x| d.index(&[x]))
+            .collect();
         assert_eq!(idx, vec![0, 1, 2, 3]);
     }
 }

@@ -136,9 +136,10 @@ mod tests {
     #[test]
     fn grid_search_ranks_k() {
         let ds = blobs(200, 3);
-        let results =
-            grid_search(&ds, 5, 4, vec![1usize, 5, 25, 75], |train, &k| Knn::fit(train, k))
-                .unwrap();
+        let results = grid_search(&ds, 5, 4, vec![1usize, 5, 25, 75], |train, &k| {
+            Knn::fit(train, k)
+        })
+        .unwrap();
         assert_eq!(results.len(), 4);
         // Sorted best-first.
         for w in results.windows(2) {
@@ -152,9 +153,10 @@ mod tests {
     fn grid_search_skips_invalid_candidates() {
         let ds = blobs(60, 5);
         // k = 10_000 exceeds the training size → fit error → skipped.
-        let results =
-            grid_search(&ds, 4, 6, vec![3usize, 10_000], |train, &k| Knn::fit(train, k))
-                .unwrap();
+        let results = grid_search(&ds, 4, 6, vec![3usize, 10_000], |train, &k| {
+            Knn::fit(train, k)
+        })
+        .unwrap();
         assert_eq!(results.len(), 1);
         assert_eq!(results[0].params, 3);
     }
@@ -169,8 +171,9 @@ mod tests {
     #[test]
     fn all_failing_candidates_propagate_error() {
         let ds = blobs(60, 9);
-        let result =
-            grid_search(&ds, 4, 10, vec![10_000usize], |train, &k| Knn::fit(train, k));
+        let result = grid_search(&ds, 4, 10, vec![10_000usize], |train, &k| {
+            Knn::fit(train, k)
+        });
         assert!(result.is_err());
     }
 }

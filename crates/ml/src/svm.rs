@@ -46,14 +46,17 @@ impl LinearSvm {
     /// Returns [`MlError::SingleClass`] if only one class is present, or
     /// [`MlError::InvalidHyperparameter`] for a non-positive `lambda`/`steps`.
     pub fn fit(ds: &Dataset, config: &SvmConfig) -> Result<Self, MlError> {
-        if !(config.lambda > 0.0) || config.steps == 0 {
+        if config.lambda.is_nan() || config.lambda <= 0.0 || config.steps == 0 {
             return Err(MlError::InvalidHyperparameter("svm config"));
         }
         let ys = ds.class_targets();
-        if !ys.iter().any(|&y| y == 0) || !ys.iter().any(|&y| y == 1) {
+        if !ys.contains(&0) || !ys.contains(&1) {
             return Err(MlError::SingleClass);
         }
-        let signs: Vec<f64> = ys.iter().map(|&y| if y == 1 { 1.0 } else { -1.0 }).collect();
+        let signs: Vec<f64> = ys
+            .iter()
+            .map(|&y| if y == 1 { 1.0 } else { -1.0 })
+            .collect();
         let d = ds.n_features();
         let mut w = vec![0.0f64; d];
         let mut b = 0.0f64;
@@ -87,7 +90,10 @@ impl LinearSvm {
                 }
             }
         }
-        Ok(LinearSvm { weights: w, bias: b })
+        Ok(LinearSvm {
+            weights: w,
+            bias: b,
+        })
     }
 
     /// Signed decision value `w·x + b`; positive means class 1.

@@ -121,14 +121,7 @@ impl DecisionTree {
             return Err(MlError::SingleClass);
         }
         let idx: Vec<usize> = (0..ds.len()).collect();
-        let root = grow(
-            ds,
-            &idx,
-            Task::Classify { n_classes },
-            config,
-            0,
-            rng,
-        );
+        let root = grow(ds, &idx, Task::Classify { n_classes }, config, 0, rng);
         Ok(DecisionTree {
             root,
             n_classes,
@@ -271,10 +264,7 @@ fn grow(
     rng: &mut Rng,
 ) -> Node {
     let parent_imp = impurity(ds, idx, task);
-    if depth >= config.max_depth
-        || idx.len() < config.min_samples_split
-        || parent_imp < 1e-12
-    {
+    if depth >= config.max_depth || idx.len() < config.min_samples_split || parent_imp < 1e-12 {
         return Node::Leaf {
             value: leaf_value(ds, idx, task),
         };

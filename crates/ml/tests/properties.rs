@@ -11,17 +11,11 @@ use proptest::prelude::*;
 
 fn arb_dataset(max_n: usize, d: usize) -> impl Strategy<Value = Dataset> {
     proptest::collection::vec(
-        (
-            proptest::collection::vec(-100.0f64..100.0, d),
-            0.0f64..2.0,
-        ),
+        (proptest::collection::vec(-100.0f64..100.0, d), 0.0f64..2.0),
         2..max_n,
     )
     .prop_map(|rows| {
-        let (xs, ys): (Vec<_>, Vec<_>) = rows
-            .into_iter()
-            .map(|(x, y)| (x, y.round()))
-            .unzip();
+        let (xs, ys): (Vec<_>, Vec<_>) = rows.into_iter().map(|(x, y)| (x, y.round())).unzip();
         Dataset::from_rows(xs, ys).expect("valid by construction")
     })
 }
@@ -90,7 +84,7 @@ proptest! {
         // Deduplicate identical feature rows to avoid genuine ties.
         let mut seen: Vec<&Vec<f64>> = Vec::new();
         let distinct = ds.features().iter().all(|r| {
-            if seen.iter().any(|s| *s == r) { false } else { seen.push(r); true }
+            if seen.contains(&r) { false } else { seen.push(r); true }
         });
         prop_assume!(distinct);
         let knn = Knn::fit(&ds, 1).unwrap();
@@ -121,7 +115,7 @@ proptest! {
     #[test]
     fn tree_predicts_known_classes(ds in arb_dataset(40, 2), q in proptest::collection::vec(-200.0f64..200.0, 2)) {
         let classes = ds.class_targets();
-        prop_assume!(classes.iter().any(|&c| c == 0) && classes.iter().any(|&c| c == 1));
+        prop_assume!(classes.contains(&0) && classes.contains(&1));
         let tree = DecisionTree::fit(&ds, &TreeConfig::default()).unwrap();
         let pred = tree.predict(&q);
         prop_assert!(pred < ds.n_classes());

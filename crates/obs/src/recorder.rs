@@ -1,0 +1,262 @@
+//! Event sinks: the [`Recorder`] trait and its implementations.
+//!
+//! A recorder receives every span and gauge event from the instrumented
+//! code. Exactly one recorder is installed globally (see
+//! [`crate::install`]); when none is installed — or the [`NullRecorder`]
+//! is — instrumentation short-circuits on a single relaxed atomic load, so
+//! disabled tracing costs nothing measurable on hot paths.
+
+use crate::json::Value;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// One observability event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event<'a> {
+    /// A span opened.
+    SpanEnter {
+        /// Static span name, dot-separated (`layer.component.op`).
+        name: &'a str,
+        /// Monotonic nanoseconds since the recorder was installed.
+        t_ns: u64,
+        /// Small per-process thread index (not the OS thread id).
+        tid: u64,
+        /// Nesting depth on this thread (0 = top level).
+        depth: u32,
+        /// Optional numeric attribute (e.g. the sweep's error probability).
+        attr: Option<f64>,
+    },
+    /// A span closed.
+    SpanExit {
+        /// Static span name, matching the corresponding enter.
+        name: &'a str,
+        /// Monotonic nanoseconds since the recorder was installed.
+        t_ns: u64,
+        /// Small per-process thread index.
+        tid: u64,
+        /// Nesting depth on this thread.
+        depth: u32,
+        /// Span duration in nanoseconds.
+        dur_ns: u64,
+    },
+    /// A gauge was set.
+    Gauge {
+        /// Static gauge name.
+        name: &'a str,
+        /// Monotonic nanoseconds since the recorder was installed.
+        t_ns: u64,
+        /// New gauge value.
+        value: f64,
+    },
+}
+
+impl Event<'_> {
+    /// Serializes the event as one JSON line (no trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let obj = match *self {
+            Event::SpanEnter {
+                name,
+                t_ns,
+                tid,
+                depth,
+                attr,
+            } => {
+                let mut members = vec![
+                    ("ev".to_owned(), Value::from("enter")),
+                    ("name".to_owned(), Value::from(name)),
+                    ("t_ns".to_owned(), Value::from(t_ns)),
+                    ("tid".to_owned(), Value::from(tid)),
+                    ("depth".to_owned(), Value::from(u64::from(depth))),
+                ];
+                if let Some(a) = attr {
+                    members.push(("attr".to_owned(), Value::from(a)));
+                }
+                Value::Obj(members)
+            }
+            Event::SpanExit {
+                name,
+                t_ns,
+                tid,
+                depth,
+                dur_ns,
+            } => Value::Obj(vec![
+                ("ev".to_owned(), Value::from("exit")),
+                ("name".to_owned(), Value::from(name)),
+                ("t_ns".to_owned(), Value::from(t_ns)),
+                ("tid".to_owned(), Value::from(tid)),
+                ("depth".to_owned(), Value::from(u64::from(depth))),
+                ("dur_ns".to_owned(), Value::from(dur_ns)),
+            ]),
+            Event::Gauge { name, t_ns, value } => Value::Obj(vec![
+                ("ev".to_owned(), Value::from("gauge")),
+                ("name".to_owned(), Value::from(name)),
+                ("t_ns".to_owned(), Value::from(t_ns)),
+                ("value".to_owned(), Value::from(value)),
+            ]),
+        };
+        obj.to_json()
+    }
+}
+
+/// An event sink. Implementations must be cheap and thread-safe: events
+/// arrive from any thread, potentially concurrently.
+pub trait Recorder: Send + Sync {
+    /// Consumes one event.
+    fn record(&self, event: &Event<'_>);
+
+    /// Flushes buffered output, if any.
+    fn flush(&self) {}
+
+    /// `true` for recorders that drop everything; instrumentation skips all
+    /// work (including timestamping) when the installed recorder says so.
+    fn is_null(&self) -> bool {
+        false
+    }
+}
+
+/// Discards every event. Installing it (or no recorder at all) keeps the
+/// instrumented hot paths on their single-atomic-load fast path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&self, _event: &Event<'_>) {}
+
+    fn is_null(&self) -> bool {
+        true
+    }
+}
+
+/// Appends events to a file, one JSON object per line.
+#[derive(Debug)]
+pub struct JsonlRecorder {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlRecorder {
+    /// Creates (truncates) the events file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlRecorder {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn record(&self, event: &Event<'_>) {
+        let line = event.to_json_line();
+        let mut writer = self.writer.lock().expect("jsonl writer poisoned");
+        let _ = writer.write_all(line.as_bytes());
+        let _ = writer.write_all(b"\n");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl writer poisoned").flush();
+    }
+}
+
+/// Collects event lines in memory; the test and bench recorder.
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    lines: Mutex<Vec<String>>,
+}
+
+impl MemoryRecorder {
+    /// An empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All recorded JSON lines, in arrival order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recording thread panicked while holding the lock.
+    #[must_use]
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().expect("memory recorder poisoned").clone()
+    }
+
+    /// Number of recorded events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recording thread panicked while holding the lock.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lines.lock().expect("memory recorder poisoned").len()
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&self, event: &Event<'_>) {
+        self.lines
+            .lock()
+            .expect("memory recorder poisoned")
+            .push(event.to_json_line());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_lines_parse_back() {
+        let enter = Event::SpanEnter {
+            name: "a.b",
+            t_ns: 5,
+            tid: 1,
+            depth: 0,
+            attr: Some(1e-6),
+        };
+        let v = Value::parse(&enter.to_json_line()).unwrap();
+        assert_eq!(v.get("ev").and_then(Value::as_str), Some("enter"));
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("a.b"));
+        assert_eq!(v.get("attr").and_then(Value::as_f64), Some(1e-6));
+
+        let exit = Event::SpanExit {
+            name: "a.b",
+            t_ns: 9,
+            tid: 1,
+            depth: 0,
+            dur_ns: 4,
+        };
+        let v = Value::parse(&exit.to_json_line()).unwrap();
+        assert_eq!(v.get("dur_ns").and_then(Value::as_f64), Some(4.0));
+    }
+
+    #[test]
+    fn null_recorder_is_null() {
+        assert!(NullRecorder.is_null());
+        assert!(!MemoryRecorder::new().is_null());
+    }
+
+    #[test]
+    fn memory_recorder_collects() {
+        let rec = MemoryRecorder::new();
+        assert!(rec.is_empty());
+        rec.record(&Event::Gauge {
+            name: "g",
+            t_ns: 1,
+            value: 2.0,
+        });
+        assert_eq!(rec.len(), 1);
+        assert!(rec.lines()[0].contains("\"gauge\""));
+    }
+}

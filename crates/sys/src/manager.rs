@@ -134,14 +134,13 @@ impl DvfsEnvironment {
             return Err(SysError::EmptyPlatform("no common V-f levels"));
         }
         let (t_lo, t_hi, t_bins) = config.temp_bins;
-        let discretizer = Discretizer::new(vec![
-            (t_lo, t_hi, t_bins),
-            (0.0, 1.0, config.util_bins),
-        ])
-        .map_err(|_| SysError::BadParameter {
-            what: "discretizer bins",
-            value: 0.0,
-        })?;
+        let discretizer =
+            Discretizer::new(vec![(t_lo, t_hi, t_bins), (0.0, 1.0, config.util_bins)]).map_err(
+                |_| SysError::BadParameter {
+                    what: "discretizer bins",
+                    value: 0.0,
+                },
+            )?;
         let sim = Simulator::new(
             platform.clone(),
             tasks.clone(),
@@ -199,6 +198,8 @@ impl Environment for DvfsEnvironment {
     }
 
     fn step(&mut self, action: usize) -> Transition {
+        #[allow(clippy::cast_precision_loss)]
+        let _tick_span = lori_obs::span_with("sys.manager.tick", action as f64);
         assert!(action < self.n_levels, "action out of range");
         self.sim
             .set_global_level(action)
@@ -304,13 +305,7 @@ mod tests {
                 fn best_action(&self, _s: usize) -> usize {
                     self.0
                 }
-                fn learn(
-                    &mut self,
-                    _s: usize,
-                    _a: usize,
-                    _t: &lori_core::mgmt::Transition,
-                ) {
-                }
+                fn learn(&mut self, _s: usize, _a: usize, _t: &lori_core::mgmt::Transition) {}
             }
             let r = evaluate(&mut e, &Fixed(level), 2, 20);
             worst = worst.min(r);

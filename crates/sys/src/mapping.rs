@@ -41,6 +41,8 @@ pub fn evaluate_mapping(
     mapping: &Mapping,
     ser: &SerModel,
 ) -> Result<MappingReport, SysError> {
+    let _span = lori_obs::span("sys.mapping.evaluate");
+    lori_obs::counter("sys.mapping.evaluations").incr(1);
     ser.validate()?;
     if mapping.assignment().len() != tasks.len() {
         return Err(SysError::BadMapping {
@@ -127,16 +129,16 @@ where
         let task = &tasks[t];
         let mut best = 0usize;
         let mut best_score = f64::NEG_INFINITY;
-        for c in 0..n_cores {
+        for (c, &core_util) in util.iter().enumerate().take(n_cores) {
             let core = platform.core(c);
             let vf = core.vf(core.level_count() - 1).expect("top level exists");
             let exec_ms = task.wcet_work / core.throughput_per_ms(vf);
             let u = exec_ms / task.period_ms;
-            if util[c] + u > 1.0 {
+            if core_util + u > 1.0 {
                 continue; // infeasible on this core
             }
             // Penalize load imbalance slightly so greedy stays feasible.
-            let s = score(c, exec_ms, platform) - util[c] * 1e-6;
+            let s = score(c, exec_ms, platform) - core_util * 1e-6;
             if s > best_score {
                 best_score = s;
                 best = c;
@@ -247,7 +249,10 @@ mod tests {
             .iter()
             .filter(|&&c| c < 2) // cores 0,1 are Big in big_little_2x2
             .count();
-        assert!(big_count * 2 >= tasks.len(), "big cores underused: {big_count}");
+        assert!(
+            big_count * 2 >= tasks.len(),
+            "big cores underused: {big_count}"
+        );
     }
 
     #[test]

@@ -49,13 +49,13 @@ impl McTask {
         wcet_lo_ms: f64,
         wcet_hi_ms: f64,
     ) -> Result<Self, SysError> {
-        if !(period_ms > 0.0) {
+        if period_ms.is_nan() || period_ms <= 0.0 {
             return Err(SysError::BadTask {
                 what: "period_ms",
                 value: period_ms,
             });
         }
-        if !(wcet_lo_ms > 0.0) || wcet_lo_ms > period_ms {
+        if wcet_lo_ms.is_nan() || wcet_lo_ms <= 0.0 || wcet_lo_ms > period_ms {
             return Err(SysError::BadTask {
                 what: "wcet_lo_ms",
                 value: wcet_lo_ms,
@@ -212,7 +212,10 @@ impl McSimulator {
                         let overrun = task.criticality == Criticality::Hi
                             && rng.bernoulli(self.overrun_probability);
                         let demand = if overrun {
-                            rng.uniform_in(task.wcet_lo_ms, task.wcet_hi_ms.max(task.wcet_lo_ms + 1e-9))
+                            rng.uniform_in(
+                                task.wcet_lo_ms,
+                                task.wcet_hi_ms.max(task.wcet_lo_ms + 1e-9),
+                            )
                         } else {
                             rng.uniform_in(task.wcet_lo_ms * 0.5, task.wcet_lo_ms)
                         };
@@ -362,7 +365,11 @@ mod tests {
         let report = sim.run(2000.0, &mut rng);
         assert_eq!(report.hi_missed, 0);
         assert_eq!(report.mode_switches, 0);
-        assert!(report.lo_service() > 0.99, "LO service {}", report.lo_service());
+        assert!(
+            report.lo_service() > 0.99,
+            "LO service {}",
+            report.lo_service()
+        );
     }
 
     #[test]
@@ -384,13 +391,10 @@ mod tests {
         let reactive = McSimulator::new(task_set(), 0.3, SwitchPolicy::Reactive)
             .unwrap()
             .run(4000.0, &mut rng_a);
-        let proactive = McSimulator::new(
-            task_set(),
-            0.3,
-            SwitchPolicy::Proactive { threshold: 0.15 },
-        )
-        .unwrap()
-        .run(4000.0, &mut rng_b);
+        let proactive =
+            McSimulator::new(task_set(), 0.3, SwitchPolicy::Proactive { threshold: 0.15 })
+                .unwrap()
+                .run(4000.0, &mut rng_b);
         assert_eq!(proactive.hi_missed, 0);
         assert!(
             proactive.hi_mode_quanta >= reactive.hi_mode_quanta,
@@ -406,12 +410,9 @@ mod tests {
     fn validation() {
         assert!(McSimulator::new(vec![], 0.1, SwitchPolicy::Reactive).is_err());
         assert!(McSimulator::new(task_set(), 1.5, SwitchPolicy::Reactive).is_err());
-        assert!(McSimulator::new(
-            task_set(),
-            0.1,
-            SwitchPolicy::Proactive { threshold: 2.0 }
-        )
-        .is_err());
+        assert!(
+            McSimulator::new(task_set(), 0.1, SwitchPolicy::Proactive { threshold: 2.0 }).is_err()
+        );
     }
 
     #[test]
@@ -422,6 +423,9 @@ mod tests {
             let mut rng = Rng::from_seed(seed);
             service.push(sim.run(4000.0, &mut rng).lo_service());
         }
-        assert!(service[0] > service[1] && service[1] > service[2], "{service:?}");
+        assert!(
+            service[0] > service[1] && service[1] > service[2],
+            "{service:?}"
+        );
     }
 }

@@ -38,7 +38,7 @@ impl Operating {
     /// Returns [`SysError::BadParameter`] for a non-positive voltage or an
     /// activity outside `[0, 1]`.
     pub fn new(temperature: Celsius, voltage: Volts, activity: f64) -> Result<Self, SysError> {
-        if !(voltage.value() > 0.0) {
+        if voltage.value().is_nan() || voltage.value() <= 0.0 {
             return Err(SysError::BadParameter {
                 what: "voltage",
                 value: voltage.value(),

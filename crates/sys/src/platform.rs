@@ -169,11 +169,7 @@ impl Core {
             return Watts(0.0);
         }
         let k = 0.013; // per kelvin
-        Watts(
-            self.kind.leakage_scale_w()
-                * voltage.value()
-                * (k * (temp.value() - 45.0)).exp(),
-        )
+        Watts(self.kind.leakage_scale_w() * voltage.value() * (k * (temp.value() - 45.0)).exp())
     }
 
     /// Throughput at a level in "work units" per millisecond, where a work
@@ -275,9 +271,7 @@ mod tests {
         let lo = core.vf(0).unwrap();
         let hi = core.vf(4).unwrap();
         assert!(core.dynamic_power(hi, 1.0).value() > core.dynamic_power(lo, 1.0).value());
-        assert!(
-            core.dynamic_power(hi, 0.5).value() < core.dynamic_power(hi, 1.0).value()
-        );
+        assert!(core.dynamic_power(hi, 0.5).value() < core.dynamic_power(hi, 1.0).value());
         assert_eq!(core.dynamic_power(hi, 0.0).value(), 0.0);
     }
 
@@ -289,7 +283,8 @@ mod tests {
         let hot = core.leakage_power(v, Celsius(85.0), PowerState::Active);
         assert!(hot.value() > cool.value());
         assert_eq!(
-            core.leakage_power(v, Celsius(85.0), PowerState::Sleep).value(),
+            core.leakage_power(v, Celsius(85.0), PowerState::Sleep)
+                .value(),
             0.0
         );
     }

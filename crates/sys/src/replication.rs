@@ -137,12 +137,7 @@ impl ReplicaManager {
     /// Simulates `jobs` jobs in an environment with true per-replica failure
     /// probability `true_p`, adapting the replica count after every job.
     /// Returns `(job_failures, replica_executions)`.
-    pub fn run_adaptive(
-        &mut self,
-        true_p: Probability,
-        jobs: usize,
-        rng: &mut Rng,
-    ) -> (u64, u64) {
+    pub fn run_adaptive(&mut self, true_p: Probability, jobs: usize, rng: &mut Rng) -> (u64, u64) {
         let mut job_failures = 0u64;
         let mut replica_execs = 0u64;
         for _ in 0..jobs {
@@ -194,9 +189,7 @@ mod tests {
         // TMR: P(0 or 1 failure) = 0.9³ + 3·0.1·0.9² = 0.972.
         assert!((majority_reliability(p, 3).value() - 0.972).abs() < 1e-12);
         // More replicas help (for p < 0.5).
-        assert!(
-            majority_reliability(p, 5).value() > majority_reliability(p, 3).value()
-        );
+        assert!(majority_reliability(p, 5).value() > majority_reliability(p, 3).value());
         // Perfect replicas are perfect.
         assert_eq!(majority_reliability(Probability::ZERO, 3), Probability::ONE);
     }
@@ -268,7 +261,10 @@ mod tests {
     fn mtbf_conversions() {
         let m = mtbf(Probability::saturating(0.001), Seconds(10.0)).unwrap();
         assert!((m.value() - 10_000.0).abs() < 1e-9);
-        assert!(mtbf(Probability::ZERO, Seconds(10.0)).unwrap().value().is_infinite());
+        assert!(mtbf(Probability::ZERO, Seconds(10.0))
+            .unwrap()
+            .value()
+            .is_infinite());
         assert!(mtbf(Probability::saturating(0.5), Seconds(0.0)).is_err());
     }
 

@@ -26,11 +26,7 @@ impl Mapping {
     ///
     /// Returns [`SysError::BadMapping`] if a core index is out of range or
     /// the assignment length differs from the task count.
-    pub fn new(
-        assignment: Vec<usize>,
-        n_tasks: usize,
-        n_cores: usize,
-    ) -> Result<Self, SysError> {
+    pub fn new(assignment: Vec<usize>, n_tasks: usize, n_cores: usize) -> Result<Self, SysError> {
         if assignment.len() != n_tasks {
             return Err(SysError::BadMapping {
                 what: "assignment length",
@@ -334,12 +330,11 @@ impl Simulator {
     ///
     /// Returns [`SysError::BadLevel`] for an invalid level.
     pub fn set_level(&mut self, core: usize, level: usize) -> Result<(), SysError> {
-        if core >= self.platform.core_count()
-            || level >= self.platform.core(core).level_count()
-        {
+        if core >= self.platform.core_count() || level >= self.platform.core(core).level_count() {
             return Err(SysError::BadLevel { core, level });
         }
         self.levels[core] = level;
+        lori_obs::counter("sys.dvfs.actuations").incr(1);
         self.epoch_busy.iter_mut().for_each(|b| *b = 0.0);
         self.epoch_elapsed = 0.0;
         Ok(())
@@ -359,6 +354,7 @@ impl Simulator {
         for l in &mut self.levels {
             *l = level;
         }
+        lori_obs::counter("sys.dvfs.actuations").incr(self.levels.len() as u64);
         self.epoch_busy.iter_mut().for_each(|b| *b = 0.0);
         self.epoch_elapsed = 0.0;
         Ok(())
@@ -398,7 +394,7 @@ impl Simulator {
             epoch_quanta,
         } = self.config.governor
         {
-            if self.quantum_index > 0 && self.quantum_index % epoch_quanta.max(1) == 0 {
+            if self.quantum_index > 0 && self.quantum_index.is_multiple_of(epoch_quanta.max(1)) {
                 for core in 0..n_cores {
                     #[allow(clippy::cast_precision_loss)]
                     let util = self.epoch_busy[core] / (epoch_quanta.max(1) as f64 * dt);
@@ -415,7 +411,7 @@ impl Simulator {
 
         // Execute.
         let mut power = vec![Watts(0.0); n_cores];
-        for core_idx in 0..n_cores {
+        for (core_idx, power_slot) in power.iter_mut().enumerate() {
             let core = self.platform.core(core_idx);
             let vf: VfPoint = core.vf(self.levels[core_idx]).expect("validated level");
             let temp = self.thermal.temperature(core_idx);
@@ -429,7 +425,7 @@ impl Simulator {
                 // Wake up: pay the penalty before executing.
                 self.wake_remaining_ms[core_idx] -= dt;
                 if self.wake_remaining_ms[core_idx] > 0.0 {
-                    power[core_idx] = core.leakage_power(vf.voltage, temp, PowerState::Idle);
+                    *power_slot = core.leakage_power(vf.voltage, temp, PowerState::Idle);
                     continue;
                 }
                 self.states[core_idx] = PowerState::Active;
@@ -481,7 +477,7 @@ impl Simulator {
                     }
                     let p_dyn = core.dynamic_power(vf, busy_frac);
                     let p_leak = core.leakage_power(vf.voltage, temp, PowerState::Active);
-                    power[core_idx] = Watts(p_dyn.value() + p_leak.value());
+                    *power_slot = Watts(p_dyn.value() + p_leak.value());
                 }
                 None => {
                     self.idle_quanta[core_idx] += 1;
@@ -492,8 +488,7 @@ impl Simulator {
                         self.wake_remaining_ms[core_idx] = core.kind.wakeup_penalty_ms();
                         // Sleeping core draws nothing.
                     } else {
-                        power[core_idx] =
-                            core.leakage_power(vf.voltage, temp, PowerState::Idle);
+                        *power_slot = core.leakage_power(vf.voltage, temp, PowerState::Idle);
                     }
                 }
             }
@@ -527,17 +522,16 @@ impl Simulator {
         self.peak_temp_sum += peak;
         self.peak_temp_samples += 1;
         self.max_temp = self.max_temp.max(peak);
-        if self.quantum_index % self.config.trace_stride.max(1) == 0 {
+        if self
+            .quantum_index
+            .is_multiple_of(self.config.trace_stride.max(1))
+        {
             self.temp_trace.push(peak);
         }
         self.time_ms += dt;
         self.epoch_elapsed += dt;
         self.metrics.elapsed_ms = self.time_ms;
-        self.metrics.worst_wear_damage = self
-            .wear_damage
-            .iter()
-            .copied()
-            .fold(0.0f64, f64::max);
+        self.metrics.worst_wear_damage = self.wear_damage.iter().copied().fold(0.0f64, f64::max);
         self.quantum_index += 1;
     }
 
@@ -585,7 +579,13 @@ impl Simulator {
         let core_utilization = self
             .busy_ms
             .iter()
-            .map(|&b| if self.time_ms > 0.0 { b / self.time_ms } else { 0.0 })
+            .map(|&b| {
+                if self.time_ms > 0.0 {
+                    b / self.time_ms
+                } else {
+                    0.0
+                }
+            })
             .collect();
         SimReport {
             metrics: self.metrics,
@@ -669,11 +669,14 @@ mod tests {
         let tasks = generate_task_set(5, 2.5, 1.6e6, (10.0, 40.0), &mut rng).unwrap();
         let platform = Platform::homogeneous(CoreKind::Little, 1).unwrap();
         let mapping = Mapping::round_robin(tasks.len(), 1);
-        let mut s =
-            Simulator::new(platform, tasks, mapping, SimConfig::default()).unwrap();
+        let mut s = Simulator::new(platform, tasks, mapping, SimConfig::default()).unwrap();
         s.run_for(2000.0);
         let r = s.report();
-        assert!(r.metrics.miss_rate() > 0.3, "miss rate {}", r.metrics.miss_rate());
+        assert!(
+            r.metrics.miss_rate() > 0.3,
+            "miss rate {}",
+            r.metrics.miss_rate()
+        );
     }
 
     #[test]
@@ -733,13 +736,8 @@ mod tests {
             ..base_cfg.clone()
         };
         // Core 1 is always idle: DPM should gate its leakage away.
-        let mut plain = Simulator::new(
-            little_platform(),
-            tasks.clone(),
-            mapping.clone(),
-            base_cfg,
-        )
-        .unwrap();
+        let mut plain =
+            Simulator::new(little_platform(), tasks.clone(), mapping.clone(), base_cfg).unwrap();
         let mut dpm = Simulator::new(little_platform(), tasks, mapping, dpm_cfg).unwrap();
         plain.run_for(2000.0);
         dpm.run_for(2000.0);
@@ -846,7 +844,9 @@ mod tests {
             quantum_ms: 0.0,
             ..SimConfig::default()
         };
-        assert!(Simulator::new(little_platform(), tasks.clone(), mapping.clone(), bad_cfg).is_err());
+        assert!(
+            Simulator::new(little_platform(), tasks.clone(), mapping.clone(), bad_cfg).is_err()
+        );
         let bad_level = SimConfig {
             governor: Governor::Fixed(99),
             ..SimConfig::default()

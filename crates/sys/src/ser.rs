@@ -39,19 +39,19 @@ impl SerModel {
     /// Returns [`SysError::BadParameter`] for non-positive rate, voltage, or
     /// sensitivity.
     pub fn validate(&self) -> Result<(), SysError> {
-        if !(self.nominal_fit.value() > 0.0) {
+        if self.nominal_fit.value().is_nan() || self.nominal_fit.value() <= 0.0 {
             return Err(SysError::BadParameter {
                 what: "nominal_fit",
                 value: self.nominal_fit.value(),
             });
         }
-        if !(self.v_nominal.value() > 0.0) {
+        if self.v_nominal.value().is_nan() || self.v_nominal.value() <= 0.0 {
             return Err(SysError::BadParameter {
                 what: "v_nominal",
                 value: self.v_nominal.value(),
             });
         }
-        if !(self.volts_per_decade > 0.0) {
+        if self.volts_per_decade.is_nan() || self.volts_per_decade <= 0.0 {
             return Err(SysError::BadParameter {
                 what: "volts_per_decade",
                 value: self.volts_per_decade,
@@ -88,14 +88,20 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad() {
-        let mut m = SerModel::default();
-        m.nominal_fit = Fit(0.0);
+        let m = SerModel {
+            nominal_fit: Fit(0.0),
+            ..SerModel::default()
+        };
         assert!(m.validate().is_err());
-        let mut m = SerModel::default();
-        m.v_nominal = Volts(0.0);
+        let m = SerModel {
+            v_nominal: Volts(0.0),
+            ..SerModel::default()
+        };
         assert!(m.validate().is_err());
-        let mut m = SerModel::default();
-        m.volts_per_decade = 0.0;
+        let m = SerModel {
+            volts_per_decade: 0.0,
+            ..SerModel::default()
+        };
         assert!(m.validate().is_err());
     }
 

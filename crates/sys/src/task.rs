@@ -83,7 +83,7 @@ pub fn generate_task_set(
             value: 0.0,
         });
     }
-    if !(total_utilization > 0.0) {
+    if total_utilization.is_nan() || total_utilization <= 0.0 {
         return Err(SysError::BadTask {
             what: "total_utilization",
             value: total_utilization,

@@ -49,13 +49,13 @@ impl ThermalModel {
         if n_cores == 0 {
             return Err(SysError::EmptyPlatform("thermal nodes"));
         }
-        if !(config.r_to_ambient > 0.0) {
+        if config.r_to_ambient.is_nan() || config.r_to_ambient <= 0.0 {
             return Err(SysError::BadParameter {
                 what: "r_to_ambient",
                 value: config.r_to_ambient,
             });
         }
-        if !(config.capacitance > 0.0) {
+        if config.capacitance.is_nan() || config.capacitance <= 0.0 {
             return Err(SysError::BadParameter {
                 what: "capacitance",
                 value: config.capacitance,
@@ -157,7 +157,11 @@ pub fn count_thermal_cycles(trace: &[f64], threshold_k: f64) -> (usize, f64) {
     // Two half-cycles make a full cycle.
     let full = count / 2;
     #[allow(clippy::cast_precision_loss)]
-    let mean_amp = if count == 0 { 0.0 } else { amp_sum / count as f64 };
+    let mean_amp = if count == 0 {
+        0.0
+    } else {
+        amp_sum / count as f64
+    };
     (full, mean_amp)
 }
 
@@ -231,7 +235,7 @@ mod tests {
             }
         }
         let (count, amp) = count_thermal_cycles(&trace, 5.0);
-        assert!(count >= 3 && count <= 5, "count {count}");
+        assert!((3..=5).contains(&count), "count {count}");
         assert!((amp - 20.0).abs() < 3.0, "amplitude {amp}");
         // Flat trace: no cycles.
         let flat = vec![60.0; 100];

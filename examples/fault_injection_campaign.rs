@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Baseline campaign: how vulnerable is the unprotected kernel?
     let campaign = random_register_campaign(&program, &cfg, &Protection::none(), 1000, 1)?;
-    println!("unprotected {} ({} trials):", program.name, campaign.counts.total());
+    println!(
+        "unprotected {} ({} trials):",
+        program.name,
+        campaign.counts.total()
+    );
     for outcome in Outcome::ALL {
         println!(
             "  {:<9} {:>6.1} %",

@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\npolicy comparison (mean episode reward, greedy evaluation):");
-    println!("  learned manager : {:8.1}", evaluate(&mut env, &agent, 5, 40));
+    println!(
+        "  learned manager : {:8.1}",
+        evaluate(&mut env, &agent, 5, 40)
+    );
     for level in 0..env.action_count() {
         println!(
             "  static level {}  : {:8.1}",

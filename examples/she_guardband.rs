@@ -35,11 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     let report = run_she_flow(&sim, &lib, &adder, &ml, &SheFlowConfig::default())?;
-    let max_she = report
-        .instance_she_k
-        .iter()
-        .copied()
-        .fold(0.0f64, f64::max);
+    let max_she = report.instance_she_k.iter().copied().fold(0.0f64, f64::max);
     println!("hottest instance self-heating: {max_she:.1} K above chip temperature");
     println!(
         "nominal critical path:       {:8.1} ps",

@@ -51,7 +51,9 @@ fn mlchar_sta_pipeline_matches_library_sta() {
             delta_vth_v: 0.0,
         })
         .collect();
-    let overrides = ml.generate_instance_library(&adder, &contexts).expect("overrides");
+    let overrides = ml
+        .generate_instance_library(&adder, &contexts)
+        .expect("overrides");
     let ml_sta = run_sta_with_overrides(&adder, &lib, &cfg, &overrides).expect("sta");
     let rel = (ml_sta.max_arrival_ps - base.max_arrival_ps).abs() / base.max_arrival_ps;
     assert!(
@@ -73,9 +75,7 @@ fn hdc_mimics_aging_model_ordering() {
         let act = rng.uniform_in(0.05, 0.6);
         let temp = rng.uniform_in(40.0, 120.0);
         let stress = StressProfile::new(duty, act, Celsius(temp)).expect("stress");
-        let y = physics
-            .delta_vth(&stress, Seconds::from_years(5.0))
-            .value();
+        let y = physics.delta_vth(&stress, Seconds::from_years(5.0)).value();
         (vec![duty, act, temp], y)
     };
     let (xs, ys): (Vec<_>, Vec<_>) = (0..1500).map(|_| sample(&mut rng)).unzip();
@@ -95,8 +95,8 @@ fn hdc_mimics_aging_model_ordering() {
 #[test]
 fn injection_to_prediction_pipeline() {
     let programs = [workload::fibonacci(), workload::checksum()];
-    let ds = ff_vulnerability_dataset(&programs, &CpuConfig::default(), 3, 0.0, 2)
-        .expect("dataset");
+    let ds =
+        ff_vulnerability_dataset(&programs, &CpuConfig::default(), 3, 0.0, 2).expect("dataset");
     let mut rng = Rng::from_seed(3);
     let (train, test) = ds.split(0.2, &mut rng).expect("split");
     let knn = Knn::fit(&train, 5).expect("knn");

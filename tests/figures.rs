@@ -124,8 +124,7 @@ fn rl_manager_learns() {
     .expect("environment");
     use lori::core::mgmt::Environment;
     let mut agent =
-        QLearning::new(env.state_count(), env.action_count(), RlConfig::default())
-            .expect("agent");
+        QLearning::new(env.state_count(), env.action_count(), RlConfig::default()).expect("agent");
     let report = train(&mut env, &mut agent, 50, 15);
     assert_eq!(report.episode_rewards.len(), 50);
     let learned = evaluate(&mut env, &agent, 2, 15);

@@ -1,0 +1,386 @@
+//! Offline, vendored stand-in for the `proptest` crate.
+//!
+//! The crates-io registry is unreachable in this build environment, so this
+//! shim implements the subset of the proptest 1.x API the workspace's
+//! property tests use: the [`proptest!`] macro, range and tuple strategies,
+//! [`collection::vec`], [`any`], [`Strategy::prop_map`], and the
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case panics with its case index; re-running
+//!   is deterministic, so the failure reproduces exactly.
+//! - **Deterministic seeding.** Case `i` of every test draws from a
+//!   SplitMix64 stream seeded by `i`, so failures are stable across runs and
+//!   machines. Set `PROPTEST_CASES` to change the case count (default 64).
+
+use std::env;
+
+/// Number of cases each property runs (env `PROPTEST_CASES`, default 64).
+#[must_use]
+pub fn cases() -> u64 {
+    env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// The deterministic RNG behind every generated value (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Stream for one test case.
+    #[must_use]
+    pub fn for_case(case: u64) -> Self {
+        TestRng {
+            state: case.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5851_f42d_4c95_7f2d,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64) * (1.0 / ((1u64 << 53) as f64))
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        // Widening multiply; bias is irrelevant for test-input generation.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + (rng.below(span) as $t)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as u64) - (*self.start() as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                self.start() + (rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u8, u16, u32, u64, usize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        // Hit the lower endpoint occasionally; the upper stays exclusive.
+        if rng.below(32) == 0 {
+            return self.start;
+        }
+        let v = self.start + (self.end - self.start) * rng.unit_f64();
+        // Guard against rounding up to the excluded endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for core::ops::RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start() <= self.end(), "empty range strategy");
+        // Endpoints are interesting edge cases; draw them now and then.
+        match rng.below(32) {
+            0 => *self.start(),
+            1 => *self.end(),
+            _ => self.start() + (self.end() - self.start()) * rng.unit_f64(),
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident: $idx:tt),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)*)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// Values constructible "from anywhere", the shim's `Arbitrary`.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over all values of `T` (see [`any`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy generating any value of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// Length specification for [`vec`]: an exact length or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with lengths drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi_inclusive - self.size.lo + 1;
+            let len = self.size.lo + rng.below(span as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Runs one property body over [`cases`] deterministic inputs. Used by the
+/// [`proptest!`] expansion; not public API of real proptest.
+pub fn run_cases(body: impl Fn(&mut TestRng)) {
+    for case in 0..cases() {
+        let mut rng = TestRng::for_case(case);
+        body(&mut rng);
+    }
+}
+
+/// Property-test entry macro; mirrors proptest's `proptest! { ... }`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(|prop_rng__| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), prop_rng__);)*
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Skips the current case when the assumption does not hold. Real proptest
+/// rejects and redraws; this shim simply moves on to the next case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($arg:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+pub mod prelude {
+    //! Everything the property tests import.
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        super::run_cases(|rng| {
+            let u = (5u64..10).generate(rng);
+            assert!((5..10).contains(&u));
+            let f = (0.0f64..2.0).generate(rng);
+            assert!((0.0..2.0).contains(&f));
+            let fi = (0.0f64..=1.0).generate(rng);
+            assert!((0.0..=1.0).contains(&fi));
+        });
+    }
+
+    #[test]
+    fn vec_lengths_respect_size_range() {
+        super::run_cases(|rng| {
+            let v = super::collection::vec(0u64..4, 2..6).generate(rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+        });
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        super::run_cases(|rng| {
+            let doubled = (1u64..5).prop_map(|x| x * 2).generate(rng);
+            assert!(doubled % 2 == 0 && (2..10).contains(&doubled));
+        });
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = super::TestRng::for_case(3);
+        let mut b = super::TestRng::for_case(3);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        /// The macro itself compiles and runs with multiple arguments.
+        #[test]
+        fn macro_smoke(a in 0u64..100, b in 0.0f64..=1.0) {
+            prop_assert!(a < 100);
+            prop_assert!((0.0..=1.0).contains(&b));
+            prop_assert_eq!(a, a);
+        }
+    }
+}
