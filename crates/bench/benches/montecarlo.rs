@@ -7,7 +7,7 @@ use lori_ftsched::workload::adpcm_reference_trace;
 
 fn bench_montecarlo(c: &mut Criterion) {
     let trace = adpcm_reference_trace();
-    let config = SweepConfig::default();
+    let config = SweepConfig::paper();
     let mut group = c.benchmark_group("montecarlo");
     for p in [1e-7f64, 1e-6, 1e-5] {
         group.bench_with_input(

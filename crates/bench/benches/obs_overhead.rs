@@ -22,7 +22,7 @@ fn sweep_once() {
     let trace = adpcm_reference_trace();
     let config = SweepConfig {
         runs: 10,
-        ..SweepConfig::default()
+        ..SweepConfig::paper()
     };
     let points = sweep(&[1e-6, 1e-5], &trace, &config).expect("sweep");
     criterion::black_box(points);

@@ -14,10 +14,14 @@ fn main() {
         "Average rollbacks per segment vs error probability",
     );
     let trace = adpcm_reference_trace();
-    let config = SweepConfig::default(); // 100 Monte Carlo runs per point
+    let config = SweepConfig::paper(); // 100 Monte Carlo runs per point
     h.seed(config.seed);
     h.config("runs_per_point", config.runs as u64);
     h.config("trace_segments", trace.len() as u64);
+    // The sweep fans probability points out over LORI_THREADS workers;
+    // results are bit-identical to the serial flow. The manifest's
+    // `phases[].wall_ms` records the parallel wall time.
+    h.config("threads", lori_par::global().threads() as u64);
 
     let axis = paper_probability_axis();
     h.config("probability_points", axis.len() as u64);

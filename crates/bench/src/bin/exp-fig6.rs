@@ -17,9 +17,11 @@ fn main() {
         "Deadline hit rate vs error probability, per algorithm",
     );
     let trace = adpcm_reference_trace();
-    let config = SweepConfig::default();
+    let config = SweepConfig::paper();
     h.seed(config.seed);
     h.config("runs_per_point", config.runs as u64);
+    // Parallel by default (LORI_THREADS workers), bit-identical to serial.
+    h.config("threads", lori_par::global().threads() as u64);
     let points = h.phase("sweep", || {
         sweep(&paper_probability_axis(), &trace, &config).expect("sweep")
     });

@@ -6,8 +6,10 @@
 //! EXPERIMENTS.md for recorded results.
 
 pub mod harness;
+pub mod perf;
 
 pub use harness::Harness;
+pub use perf::{write_bench_sweep, SweepTiming};
 
 use std::fmt::Write as _;
 

@@ -1,0 +1,121 @@
+//! Machine-readable performance trajectory records.
+//!
+//! [`write_bench_sweep`] emits `results/BENCH_sweep.json`: wall time and
+//! throughput (probability points per second) for one fixed Fig. 5/6-sized
+//! Monte Carlo sweep, measured serially and with the parallel executor.
+//! Future PRs diff this file to see whether a change moved the hot path.
+
+use crate::harness::results_dir;
+use lori_obs::Value;
+use std::path::PathBuf;
+
+/// One timed configuration of the fixed sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepTiming {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock seconds for the whole sweep.
+    pub wall_s: f64,
+}
+
+impl SweepTiming {
+    fn to_value(self, points: usize) -> Value {
+        #[allow(clippy::cast_precision_loss)]
+        let pps = if self.wall_s > 0.0 {
+            points as f64 / self.wall_s
+        } else {
+            0.0
+        };
+        Value::Obj(vec![
+            ("threads".to_owned(), Value::from(self.threads as u64)),
+            ("wall_s".to_owned(), Value::from(self.wall_s)),
+            ("points_per_s".to_owned(), Value::from(pps)),
+        ])
+    }
+}
+
+/// Writes `results/BENCH_sweep.json` describing a fixed sweep measured at
+/// one and `parallel.threads` workers. Returns the path written.
+///
+/// The record includes the machine's core count: a 1-core runner cannot
+/// show wall-time speedup no matter how good the executor is, and perf
+/// trajectories are only comparable across equal-core environments.
+///
+/// # Panics
+///
+/// Panics if the results directory cannot be created or the file cannot be
+/// written — a perf record that silently fails to persist is worse than a
+/// loud failure in a bench run.
+pub fn write_bench_sweep(
+    probability_points: usize,
+    runs_per_point: usize,
+    serial: SweepTiming,
+    parallel: SweepTiming,
+) -> PathBuf {
+    let speedup = if parallel.wall_s > 0.0 {
+        serial.wall_s / parallel.wall_s
+    } else {
+        0.0
+    };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let doc = Value::Obj(vec![
+        ("bench".to_owned(), Value::from("fig56_sweep")),
+        (
+            "probability_points".to_owned(),
+            Value::from(probability_points as u64),
+        ),
+        (
+            "runs_per_point".to_owned(),
+            Value::from(runs_per_point as u64),
+        ),
+        ("cores".to_owned(), Value::from(cores as u64)),
+        ("serial".to_owned(), serial.to_value(probability_points)),
+        ("parallel".to_owned(), parallel.to_value(probability_points)),
+        ("speedup".to_owned(), Value::from(speedup)),
+        (
+            "version".to_owned(),
+            Value::from(lori_obs::version_string()),
+        ),
+    ]);
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_sweep.json");
+    std::fs::write(&path, format!("{}\n", doc.to_json())).expect("write BENCH_sweep.json");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_sweep_record_round_trips() {
+        let dir = std::env::temp_dir().join(format!("lori-perf-{}", std::process::id()));
+        std::env::set_var("LORI_RESULTS_DIR", &dir);
+        let path = write_bench_sweep(
+            13,
+            100,
+            SweepTiming {
+                threads: 1,
+                wall_s: 2.0,
+            },
+            SweepTiming {
+                threads: 4,
+                wall_s: 0.5,
+            },
+        );
+        std::env::remove_var("LORI_RESULTS_DIR");
+        let text = std::fs::read_to_string(&path).expect("record written");
+        let v = Value::parse(&text).expect("valid json");
+        assert_eq!(v.get("bench").and_then(Value::as_str), Some("fig56_sweep"));
+        assert_eq!(v.get("speedup").and_then(Value::as_f64), Some(4.0));
+        let serial = v.get("serial").expect("serial block");
+        assert_eq!(serial.get("threads").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(
+            serial.get("points_per_s").and_then(Value::as_f64),
+            Some(6.5)
+        );
+        assert!(v.get("cores").and_then(Value::as_f64).unwrap_or(0.0) >= 1.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

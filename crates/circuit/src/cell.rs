@@ -223,7 +223,7 @@ impl StandardCell {
 pub struct CellId(pub usize);
 
 /// A collection of characterized cells with name lookup.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Library {
     cells: Vec<StandardCell>,
     by_name: HashMap<String, CellId>,

@@ -19,6 +19,7 @@ use crate::lut::Lut2d;
 use crate::she::SheModel;
 use crate::spicelike::{GoldenSimulator, OperatingPoint};
 use lori_core::units::{Celsius, Volts};
+use lori_par::Parallelism;
 
 /// Default input-slew grid in ps.
 pub const DEFAULT_SLEWS: [f64; 6] = [5.0, 10.0, 20.0, 40.0, 80.0, 160.0];
@@ -86,7 +87,8 @@ fn characterize_cell(
 }
 
 /// Characterizes the full built-in catalog (12 kinds × 5 drives = 60 cells)
-/// at a corner with the conventional flow (no SHE feedback).
+/// at a corner with the conventional flow (no SHE feedback), fanning cells
+/// out over the process-default worker pool ([`lori_par::global`]).
 ///
 /// # Errors
 ///
@@ -96,7 +98,20 @@ pub fn characterize_library(
     sim: &GoldenSimulator,
     corner: &Corner,
 ) -> Result<Library, CircuitError> {
-    build_library(sim, corner, None)
+    build_library(sim, corner, None, lori_par::global())
+}
+
+/// [`characterize_library`] with an explicit worker pool.
+///
+/// # Errors
+///
+/// Same as [`characterize_library`].
+pub fn characterize_library_par(
+    sim: &GoldenSimulator,
+    corner: &Corner,
+    par: Parallelism,
+) -> Result<Library, CircuitError> {
+    build_library(sim, corner, None, par)
 }
 
 /// Characterizes the catalog with per-operating-point self-heating applied
@@ -111,19 +126,46 @@ pub fn characterize_library_with_she(
     she: &SheModel,
 ) -> Result<Library, CircuitError> {
     she.validate()?;
-    build_library(sim, corner, Some(she))
+    build_library(sim, corner, Some(she), lori_par::global())
+}
+
+/// [`characterize_library_with_she`] with an explicit worker pool.
+///
+/// # Errors
+///
+/// Same as [`characterize_library_with_she`].
+pub fn characterize_library_with_she_par(
+    sim: &GoldenSimulator,
+    corner: &Corner,
+    she: &SheModel,
+    par: Parallelism,
+) -> Result<Library, CircuitError> {
+    she.validate()?;
+    build_library(sim, corner, Some(she), par)
 }
 
 fn build_library(
     sim: &GoldenSimulator,
     corner: &Corner,
     she: Option<&SheModel>,
+    par: Parallelism,
 ) -> Result<Library, CircuitError> {
+    // The golden sweeps per cell are pure functions of (kind, drive,
+    // corner, she), so the per-cell fan-out is deterministic by
+    // construction; cells are inserted in catalog order afterwards, which
+    // keeps CellId assignment identical to the serial flow. The first
+    // error in catalog order wins, matching serial short-circuiting.
+    let catalog: Vec<(CellKind, f64)> = CellKind::ALL
+        .into_iter()
+        .flat_map(|kind| DRIVE_STRENGTHS.into_iter().map(move |drive| (kind, drive)))
+        .collect();
+    let _span = lori_obs::span("circuit.characterize_library");
+    let cells = lori_par::par_map(par, &catalog, |_, &(kind, drive)| {
+        characterize_cell(sim, kind, drive, corner, she)
+    });
     let mut lib = Library::new();
-    for kind in CellKind::ALL {
-        for drive in DRIVE_STRENGTHS {
-            lib.add(characterize_cell(sim, kind, drive, corner, she)?)?;
-        }
+    for cell in cells {
+        lib.add(cell?)?;
     }
     Ok(lib)
 }
@@ -241,5 +283,25 @@ mod tests {
             ..Corner::default()
         };
         assert!(characterize_library(&s, &dead).is_err());
+        // Errors surface under parallel characterization too.
+        assert!(characterize_library_par(&s, &dead, Parallelism::new(4)).is_err());
+    }
+
+    #[test]
+    fn parallel_characterize_bit_identical_to_serial() {
+        let s = sim();
+        let corner = Corner::default();
+        let serial = characterize_library_par(&s, &corner, Parallelism::serial()).unwrap();
+        let parallel = characterize_library_par(&s, &corner, Parallelism::new(4)).unwrap();
+        // Full-struct equality: identical cell order (CellIds), names, and
+        // bit-identical LUT contents.
+        assert_eq!(serial, parallel);
+
+        let she = SheModel::default();
+        let serial_she =
+            characterize_library_with_she_par(&s, &corner, &she, Parallelism::serial()).unwrap();
+        let parallel_she =
+            characterize_library_with_she_par(&s, &corner, &she, Parallelism::new(4)).unwrap();
+        assert_eq!(serial_she, parallel_she);
     }
 }

@@ -20,6 +20,7 @@ use lori_core::Rng;
 use lori_ml::boost::{GradientBoostConfig, GradientBoostRegressor};
 use lori_ml::data::Dataset;
 use lori_ml::traits::Regressor;
+use lori_par::Parallelism;
 use std::collections::HashMap;
 
 /// Training configuration for the ML characterizer.
@@ -62,7 +63,7 @@ impl Default for MlCharConfig {
 }
 
 /// One cell's trained pair of models.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct CellModels {
     delay: GradientBoostRegressor,
     out_slew: GradientBoostRegressor,
@@ -70,14 +71,21 @@ struct CellModels {
 
 /// A trained ML characterizer: per-cell models mapping operating context to
 /// timing.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MlCharacterizer {
     models: HashMap<usize, CellModels>,
     chip_temperature: Celsius,
 }
 
 impl MlCharacterizer {
-    /// Trains models for every cell id in `cells` using golden-model samples.
+    /// Trains models for every cell id in `cells` using golden-model
+    /// samples, fanning cells out over the process-default worker pool
+    /// ([`lori_par::global`]).
+    ///
+    /// Each cell draws its samples from an independent RNG sub-stream
+    /// split off `config.seed` by cell id, so the trained models are
+    /// identical for every worker count (and independent of the order the
+    /// cell list is given in, beyond the serial split sequence).
     ///
     /// # Errors
     ///
@@ -88,6 +96,21 @@ impl MlCharacterizer {
         lib: &Library,
         cells: &[CellId],
         config: &MlCharConfig,
+    ) -> Result<Self, CircuitError> {
+        Self::train_with(sim, lib, cells, config, lori_par::global())
+    }
+
+    /// [`MlCharacterizer::train`] with an explicit worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MlCharacterizer::train`].
+    pub fn train_with(
+        sim: &GoldenSimulator,
+        lib: &Library,
+        cells: &[CellId],
+        config: &MlCharConfig,
+        par: Parallelism,
     ) -> Result<Self, CircuitError> {
         if config.samples_per_cell < 8 {
             return Err(CircuitError::InvalidParameter {
@@ -108,15 +131,28 @@ impl MlCharacterizer {
                 });
             }
         }
-        let mut rng = Rng::from_seed(config.seed);
         let gb_cfg = GradientBoostConfig {
             stages: config.stages,
             learning_rate: 0.1,
             max_depth: config.max_depth,
         };
-        let mut models = HashMap::new();
-        for &cell_id in cells {
-            let cell = lib.cell(cell_id);
+        // Split one RNG sub-stream per cell serially, in list order,
+        // before the fan-out: sample generation then depends only on a
+        // cell's own stream, never on how many cells other workers have
+        // already processed.
+        let mut root = Rng::from_seed(config.seed);
+        let tasks: Vec<(CellId, Rng)> = cells
+            .iter()
+            .map(|&cell_id| {
+                #[allow(clippy::cast_possible_truncation)]
+                let stream = root.split(cell_id.0 as u64);
+                (cell_id, stream)
+            })
+            .collect();
+        let _span = lori_obs::span("circuit.mlchar.train");
+        let fitted = lori_par::par_map(par, &tasks, |_, (cell_id, cell_rng)| {
+            let cell = lib.cell(*cell_id);
+            let mut rng = cell_rng.clone();
             let mut xs = Vec::with_capacity(config.samples_per_cell);
             let mut delays = Vec::with_capacity(config.samples_per_cell);
             let mut slews = Vec::with_capacity(config.samples_per_cell);
@@ -162,7 +198,13 @@ impl MlCharacterizer {
                 .map_err(|e| CircuitError::Training(e.to_string()))?;
             let out_slew = GradientBoostRegressor::fit(&slew_ds, &gb_cfg)
                 .map_err(|e| CircuitError::Training(e.to_string()))?;
-            models.insert(cell_id.0, CellModels { delay, out_slew });
+            Ok((cell_id.0, CellModels { delay, out_slew }))
+        });
+        // First error in cell-list order wins, matching the serial flow.
+        let mut models = HashMap::new();
+        for f in fitted {
+            let (id, cell_models) = f?;
+            models.insert(id, cell_models);
         }
         Ok(MlCharacterizer {
             models,
@@ -181,10 +223,25 @@ impl MlCharacterizer {
         netlist: &crate::netlist::Netlist,
         config: &MlCharConfig,
     ) -> Result<Self, CircuitError> {
+        Self::train_for_netlist_with(sim, lib, netlist, config, lori_par::global())
+    }
+
+    /// [`MlCharacterizer::train_for_netlist`] with an explicit worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MlCharacterizer::train`].
+    pub fn train_for_netlist_with(
+        sim: &GoldenSimulator,
+        lib: &Library,
+        netlist: &crate::netlist::Netlist,
+        config: &MlCharConfig,
+        par: Parallelism,
+    ) -> Result<Self, CircuitError> {
         let mut used: Vec<CellId> = netlist.instances().iter().map(|i| i.cell).collect();
         used.sort_unstable();
         used.dedup();
-        Self::train(sim, lib, &used, config)
+        Self::train_with(sim, lib, &used, config, par)
     }
 
     /// Number of cells with trained models.
@@ -395,6 +452,22 @@ mod tests {
             .all(|t| t.delay_ps > 0.0 && t.out_slew_ps > 0.0));
         // Length mismatch rejected.
         assert!(ml.generate_instance_library(&nl, &contexts[1..]).is_err());
+    }
+
+    #[test]
+    fn parallel_train_bit_identical_to_serial() {
+        let (sim, lib) = setup();
+        let nl = ripple_carry_adder(lib, 4).unwrap();
+        let cfg = small_config();
+        let serial =
+            MlCharacterizer::train_for_netlist_with(sim, lib, &nl, &cfg, Parallelism::serial())
+                .unwrap();
+        let parallel =
+            MlCharacterizer::train_for_netlist_with(sim, lib, &nl, &cfg, Parallelism::new(4))
+                .unwrap();
+        // Full-struct equality: every trained tree in every per-cell model
+        // must match exactly, not just predictions.
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::mitigation::{BudgetAlgorithm, MitigationSystem};
 use lori_core::stats::Running;
 use lori_core::units::Cycles;
 use lori_core::Rng;
+use lori_par::Parallelism;
 
 /// Configuration of one sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,14 +25,24 @@ pub struct SweepConfig {
     pub seed: u64,
 }
 
-impl Default for SweepConfig {
-    fn default() -> Self {
+impl SweepConfig {
+    /// The paper's Sec. V-D setup: 100 Monte Carlo runs per probability
+    /// point, seed 0, default checkpoint and mitigation parameters. Every
+    /// `exp-*` binary that reproduces a paper figure starts from this.
+    #[must_use]
+    pub fn paper() -> Self {
         SweepConfig {
             checkpoints: CheckpointSystem::default(),
             mitigation: MitigationSystem::new(BudgetAlgorithm::Ds),
             runs: 100,
             seed: 0,
         }
+    }
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig::paper()
     }
 }
 
@@ -51,7 +62,9 @@ pub struct SweepPoint {
     pub cycle_overhead: f64,
 }
 
-/// Runs the full sweep over `p_values` for a segment `trace`.
+/// Runs the full sweep over `p_values` for a segment `trace`, fanning the
+/// probability points out over the process-default worker pool
+/// ([`lori_par::global`], i.e. `LORI_THREADS`).
 ///
 /// # Errors
 ///
@@ -63,6 +76,27 @@ pub fn sweep(
     p_values: &[f64],
     trace: &[Cycles],
     config: &SweepConfig,
+) -> Result<Vec<SweepPoint>, FtError> {
+    sweep_with(p_values, trace, config, lori_par::global())
+}
+
+/// [`sweep`] with an explicit worker pool.
+///
+/// The output is bit-identical for every worker count: each probability
+/// point's RNG stream is split off the root serially *before* the fan-out
+/// (`root.split(pi)`, then `point_rng.split(run)` inside the point), every
+/// floating-point accumulation stays inside one point's task, and the
+/// `ftsched.rollbacks` / `ftsched.deadline_misses` counters are merged
+/// with one atomic increment per point.
+///
+/// # Errors
+///
+/// Same as [`sweep`].
+pub fn sweep_with(
+    p_values: &[f64],
+    trace: &[Cycles],
+    config: &SweepConfig,
+    par: Parallelism,
 ) -> Result<Vec<SweepPoint>, FtError> {
     if p_values.is_empty() {
         return Err(FtError::EmptySweep("probability point"));
@@ -85,44 +119,63 @@ pub fn sweep(
         })
         .collect();
 
+    // Per-segment fault-free cycles depend only on the checkpoint config,
+    // so compute them once for the whole sweep instead of runs × segments
+    // times per point.
+    let fault_free_run_total: f64 = trace
+        .iter()
+        .map(|&work| config.checkpoints.fault_free_cycles(work).as_f64())
+        .sum();
+
+    // Validate every probability and split every point's RNG stream off
+    // the root serially, in point order, before any fan-out. This is the
+    // determinism contract: a point's stream depends only on its index.
     let mut root = Rng::from_seed(config.seed);
-    let mut points = Vec::with_capacity(p_values.len());
+    let tasks: Vec<(f64, ErrorModel, Rng)> = p_values
+        .iter()
+        .enumerate()
+        .map(|(pi, &p)| {
+            #[allow(clippy::cast_possible_truncation)]
+            let point_rng = root.split(pi as u64);
+            Ok((p, ErrorModel::new(p)?, point_rng))
+        })
+        .collect::<Result<_, FtError>>()?;
+
     let _sweep_span = lori_obs::span("ftsched.sweep");
     let rollback_counter = lori_obs::counter("ftsched.rollbacks");
     let deadline_miss_counter = lori_obs::counter("ftsched.deadline_misses");
-    for (pi, &p) in p_values.iter().enumerate() {
-        let _point_span = lori_obs::span_with("ftsched.sweep.point", p);
-        let errors = ErrorModel::new(p)?;
+    let points = lori_par::par_map(par, &tasks, |_, (p, errors, point_rng)| {
+        let _point_span = lori_obs::span_with("ftsched.sweep.point", *p);
+        let mut point_rng = point_rng.clone();
         let mut rollback_runs = Running::new();
         let mut point_rollbacks = 0u64;
         let mut hits = [0u64; 4];
         let mut segments_total = 0u64;
         let mut cycles_actual = 0.0f64;
         let mut cycles_fault_free = 0.0f64;
-        #[allow(clippy::cast_possible_truncation)]
-        let mut point_rng = root.split(pi as u64);
         for run in 0..config.runs {
             #[allow(clippy::cast_possible_truncation)]
             let mut rng = point_rng.split(run as u64);
             let mut run_rollbacks = 0u64;
             let mut trackers: Vec<_> = systems.iter().map(MitigationSystem::tracker).collect();
             for &work in trace {
-                let ex = config.checkpoints.execute_segment(work, &errors, &mut rng);
+                let ex = config.checkpoints.execute_segment(work, errors, &mut rng);
                 run_rollbacks = run_rollbacks.saturating_add(ex.rollbacks);
                 segments_total += 1;
                 cycles_actual += ex.total_cycles.as_f64();
-                cycles_fault_free += config.checkpoints.fault_free_cycles(work).as_f64();
                 for ((s, t), h) in systems.iter().zip(&mut trackers).zip(&mut hits) {
                     if t.advance(s, work, wcet_work, ex.total_cycles, &config.checkpoints) {
                         *h += 1;
                     }
                 }
             }
+            cycles_fault_free += fault_free_run_total;
             point_rollbacks = point_rollbacks.saturating_add(run_rollbacks);
             #[allow(clippy::cast_precision_loss)]
             rollback_runs.push(run_rollbacks as f64 / trace.len() as f64);
         }
-        // One aggregated increment per point keeps the inner loop clean.
+        // One aggregated increment per point: commutative, so metric
+        // totals are exact no matter how points interleave across workers.
         rollback_counter.incr(point_rollbacks);
         deadline_miss_counter.incr(4 * segments_total - hits.iter().sum::<u64>());
         #[allow(clippy::cast_precision_loss)]
@@ -134,14 +187,14 @@ pub fn sweep(
             hits[2] as f64 / per_alg_total,
             hits[3] as f64 / per_alg_total,
         ];
-        points.push(SweepPoint {
-            p,
+        SweepPoint {
+            p: *p,
             avg_rollbacks_per_segment: rollback_runs.mean(),
             rollbacks_std: rollback_runs.std_dev(),
             hit_rate,
             cycle_overhead: cycles_actual / cycles_fault_free - 1.0,
-        });
-    }
+        }
+    });
     Ok(points)
 }
 
@@ -263,6 +316,32 @@ mod tests {
         let a = sweep(&[1e-6], &trace, &quick_config()).unwrap();
         let b = sweep(&[1e-6], &trace, &quick_config()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_sweep_bit_identical_to_serial() {
+        let trace = adpcm_reference_trace();
+        let axis = paper_probability_axis();
+        let config = SweepConfig {
+            runs: 40,
+            ..SweepConfig::paper()
+        };
+        let serial = sweep_with(&axis, &trace, &config, Parallelism::serial()).unwrap();
+        let parallel = sweep_with(&axis, &trace, &config, Parallelism::new(4)).unwrap();
+        // Full-struct equality: every f64 (means, stds, hit rates, cycle
+        // overheads) must match bit for bit, not approximately.
+        assert_eq!(serial, parallel);
+        // And an uneven worker count, so points per worker don't divide
+        // evenly either.
+        let three = sweep_with(&axis, &trace, &config, Parallelism::new(3)).unwrap();
+        assert_eq!(serial, three);
+    }
+
+    #[test]
+    fn paper_config_is_the_default() {
+        assert_eq!(SweepConfig::paper(), SweepConfig::default());
+        assert_eq!(SweepConfig::paper().runs, 100);
+        assert_eq!(SweepConfig::paper().seed, 0);
     }
 
     #[test]

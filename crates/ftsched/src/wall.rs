@@ -66,6 +66,12 @@ pub struct WallPoint {
 /// Sweeps speed headroom and checkpoint granularity and reports how the
 /// wall moves (experiment E13).
 ///
+/// The bisection inside each row sweeps one probability point at a time,
+/// so parallelism lives at the row level instead: every parameter row is
+/// bisected on its own worker ([`lori_par::global`]). Rows are
+/// independent — each inner sweep re-seeds from `base.seed` — so the
+/// output is identical for every worker count.
+///
 /// # Errors
 ///
 /// Propagates [`find_wall`] errors.
@@ -75,34 +81,41 @@ pub fn wall_sensitivity(
     speedups: &[f64],
     checkpoint_granularities: &[u32],
 ) -> Result<Vec<WallPoint>, FtError> {
-    let mut rows = Vec::new();
-    for &s in speedups {
-        let config = SweepConfig {
-            mitigation: MitigationSystem {
-                max_speedup: s,
-                ..base.mitigation
-            },
-            ..base.clone()
-        };
-        rows.push(WallPoint {
-            label: format!("speedup={s}"),
-            wall_p: walls(trace, &config)?,
-        });
-    }
-    for &k in checkpoint_granularities {
-        let config = SweepConfig {
-            checkpoints: CheckpointSystem {
-                checkpoints_per_segment: k,
-                ..base.checkpoints
-            },
-            ..base.clone()
-        };
-        rows.push(WallPoint {
-            label: format!("checkpoints_per_segment={k}"),
-            wall_p: walls(trace, &config)?,
-        });
-    }
-    Ok(rows)
+    let rows: Vec<(String, SweepConfig)> = speedups
+        .iter()
+        .map(|&s| {
+            (
+                format!("speedup={s}"),
+                SweepConfig {
+                    mitigation: MitigationSystem {
+                        max_speedup: s,
+                        ..base.mitigation
+                    },
+                    ..base.clone()
+                },
+            )
+        })
+        .chain(checkpoint_granularities.iter().map(|&k| {
+            (
+                format!("checkpoints_per_segment={k}"),
+                SweepConfig {
+                    checkpoints: CheckpointSystem {
+                        checkpoints_per_segment: k,
+                        ..base.checkpoints
+                    },
+                    ..base.clone()
+                },
+            )
+        }))
+        .collect();
+    let _span = lori_obs::span("ftsched.wall_sensitivity");
+    let computed = lori_par::par_map(lori_par::global(), &rows, |_, (label, config)| {
+        Ok(WallPoint {
+            label: label.clone(),
+            wall_p: walls(trace, config)?,
+        })
+    });
+    computed.into_iter().collect()
 }
 
 fn walls(trace: &[Cycles], config: &SweepConfig) -> Result<[f64; 4], FtError> {

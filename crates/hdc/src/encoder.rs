@@ -11,7 +11,14 @@
 use crate::error::HdcError;
 use crate::hypervector::{BinaryHv, BundleAccumulator};
 use lori_core::Rng;
+use lori_par::Parallelism;
 use std::collections::HashMap;
+
+/// Rows per task in [`RecordEncoder::encode_batch`]. Single-row encodes
+/// are microseconds, so batching amortizes dispatch; the size is a
+/// constant (never derived from the worker count) so chunk boundaries —
+/// and therefore the output — are identical under any parallelism.
+const ENCODE_CHUNK: usize = 32;
 
 /// A lazy store of random hypervectors, one per symbol id, generated
 /// deterministically from the memory's seed.
@@ -220,6 +227,23 @@ impl RecordEncoder {
         }
         acc.majority(&self.tie_break)
     }
+
+    /// Encodes a batch of feature rows, fanning fixed-size row chunks out
+    /// over `par`. Encoding is a pure function of `(self, row)`, so
+    /// `encode_batch(rows, par)[i] == encode(&rows[i])` for every worker
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from
+    /// [`RecordEncoder::n_features`].
+    #[must_use]
+    pub fn encode_batch(&self, rows: &[Vec<f64>], par: Parallelism) -> Vec<BinaryHv> {
+        let chunks = lori_par::par_chunks(par, rows, ENCODE_CHUNK, |_, chunk| {
+            chunk.iter().map(|row| self.encode(row)).collect::<Vec<_>>()
+        });
+        chunks.into_iter().flatten().collect()
+    }
 }
 
 #[cfg(test)]
@@ -300,6 +324,22 @@ mod tests {
     fn record_encoder_validation() {
         assert!(RecordEncoder::new(DIM, &[], 8, 0).is_err());
         assert!(RecordEncoder::new(DIM, &[(1.0, 0.0)], 8, 0).is_err());
+    }
+
+    #[test]
+    fn encode_batch_matches_serial_encode() {
+        let enc = RecordEncoder::new(DIM, &[(0.0, 1.0), (-1.0, 1.0)], 16, 7).unwrap();
+        let mut rng = Rng::from_seed(21);
+        // More rows than one chunk, not a multiple of the chunk size.
+        let rows: Vec<Vec<f64>> = (0..77)
+            .map(|_| vec![rng.uniform(), rng.uniform_in(-1.0, 1.0)])
+            .collect();
+        let expected: Vec<BinaryHv> = rows.iter().map(|r| enc.encode(r)).collect();
+        for workers in [1, 3, 4] {
+            let batch = enc.encode_batch(&rows, Parallelism::new(workers));
+            assert_eq!(batch, expected, "worker count {workers}");
+        }
+        assert!(enc.encode_batch(&[], Parallelism::new(4)).is_empty());
     }
 
     #[test]
