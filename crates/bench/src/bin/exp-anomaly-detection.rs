@@ -138,5 +138,7 @@ fn main() {
         "recall above 0.9",
         recall(&truth, &preds, 1).expect("metric") > 0.9,
     );
-    h.finish();
+    if let Err(err) = h.finish() {
+        eprintln!("warning: manifest not written: {err}");
+    }
 }

@@ -81,5 +81,7 @@ fn main() {
         "lower V-f raises expected soft errors",
         errors_by_level.first() > errors_by_level.last(),
     );
-    h.finish();
+    if let Err(err) = h.finish() {
+        eprintln!("warning: manifest not written: {err}");
+    }
 }

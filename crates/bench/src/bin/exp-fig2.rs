@@ -121,5 +121,7 @@ fn main() {
         "SHE temperatures spread despite few distinct cells",
         std_dev(she).expect("non-empty") > 0.0 && distinct_cells.len() < 100,
     );
-    h.finish();
+    if let Err(err) = h.finish() {
+        eprintln!("warning: manifest not written: {err}");
+    }
 }

@@ -149,5 +149,7 @@ fn main() {
         "accurate guardband below worst-case corner",
         flow.pessimism_reduction() > 0.0,
     );
-    h.finish();
+    if let Err(err) = h.finish() {
+        eprintln!("warning: manifest not written: {err}");
+    }
 }

@@ -3,8 +3,8 @@
 //! Paper claims: negligible below 1e-6; rapid growth beyond; more than 10
 //! rollbacks per segment past 1e-5 ("formidable to deal with").
 
-use lori_bench::{fmt, fmt_prob, render_table, Harness};
-use lori_ftsched::montecarlo::{paper_probability_axis, sweep, SweepConfig};
+use lori_bench::{fmt, fmt_prob, render_table, resumable_sweep, Harness};
+use lori_ftsched::montecarlo::{paper_probability_axis, SweepConfig};
 use lori_ftsched::workload::adpcm_reference_trace;
 
 fn main() {
@@ -15,17 +15,24 @@ fn main() {
     );
     let trace = adpcm_reference_trace();
     let config = SweepConfig::paper(); // 100 Monte Carlo runs per point
+    let axis = paper_probability_axis();
+    config.validate(&axis, &trace).expect("valid sweep config");
     h.seed(config.seed);
     h.config("runs_per_point", config.runs as u64);
     h.config("trace_segments", trace.len() as u64);
+    h.config("probability_points", axis.len() as u64);
     // The sweep fans probability points out over LORI_THREADS workers;
     // results are bit-identical to the serial flow. The manifest's
     // `phases[].wall_ms` records the parallel wall time.
     h.config("threads", lori_par::global().threads() as u64);
 
-    let axis = paper_probability_axis();
-    h.config("probability_points", axis.len() as u64);
-    let points = h.phase("sweep", || sweep(&axis, &trace, &config).expect("sweep"));
+    // Resumable: completed points are replayed from results/<name>.wal.jsonl
+    // and a panic/NaN at one point is quarantined under LORI_RECOVERY.
+    let outcome = resumable_sweep(&mut h, &axis, &trace, &config).expect("sweep");
+    if outcome.replayed > 0 {
+        println!("resume: {} points replayed from WAL", outcome.replayed);
+    }
+    let points = outcome.completed();
 
     h.phase("report", || {
         let rows: Vec<Vec<String>> = points
@@ -53,20 +60,19 @@ fn main() {
         );
     });
 
-    let at_1e6 = points
-        .iter()
-        .find(|p| (p.p - 1e-6).abs() < 1e-12)
-        .expect("1e-6 point");
+    let at_1e6 = points.iter().find(|p| (p.p - 1e-6).abs() < 1e-12);
     let past_wall = points
         .iter()
         .find(|p| p.p > 1e-5 && p.avg_rollbacks_per_segment > 10.0);
     h.check(
         "at p=1e-6 rollbacks are below 1/segment",
-        at_1e6.avg_rollbacks_per_segment < 1.0,
+        at_1e6.is_some_and(|p| p.avg_rollbacks_per_segment < 1.0),
     );
     h.check(
         ">10 rollbacks/segment occurs past 1e-5",
         past_wall.is_some(),
     );
-    h.finish();
+    if let Err(err) = h.finish() {
+        eprintln!("warning: manifest not written: {err}");
+    }
 }

@@ -5,9 +5,9 @@
 //! 1e-6..1e-5; within the window conservative algorithms hold higher hit
 //! rates; beyond the wall every algorithm converges to zero.
 
-use lori_bench::{fmt, fmt_prob, render_table, Harness};
+use lori_bench::{fmt, fmt_prob, render_table, resumable_sweep, Harness};
 use lori_ftsched::mitigation::BudgetAlgorithm;
-use lori_ftsched::montecarlo::{paper_probability_axis, sweep, SweepConfig};
+use lori_ftsched::montecarlo::{paper_probability_axis, SweepConfig};
 use lori_ftsched::workload::adpcm_reference_trace;
 
 fn main() {
@@ -18,13 +18,18 @@ fn main() {
     );
     let trace = adpcm_reference_trace();
     let config = SweepConfig::paper();
+    let axis = paper_probability_axis();
+    config.validate(&axis, &trace).expect("valid sweep config");
     h.seed(config.seed);
     h.config("runs_per_point", config.runs as u64);
     // Parallel by default (LORI_THREADS workers), bit-identical to serial.
     h.config("threads", lori_par::global().threads() as u64);
-    let points = h.phase("sweep", || {
-        sweep(&paper_probability_axis(), &trace, &config).expect("sweep")
-    });
+    // Resumable: a restart replays completed points from the WAL.
+    let outcome = resumable_sweep(&mut h, &axis, &trace, &config).expect("sweep");
+    if outcome.replayed > 0 {
+        println!("resume: {} points replayed from WAL", outcome.replayed);
+    }
+    let points = outcome.completed();
 
     h.phase("report", || {
         let rows: Vec<Vec<String>> = points
@@ -66,5 +71,7 @@ fn main() {
             fmt(pt.hit_rate[3])
         );
     }
-    h.finish();
+    if let Err(err) = h.finish() {
+        eprintln!("warning: manifest not written: {err}");
+    }
 }

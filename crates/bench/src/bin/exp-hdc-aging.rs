@@ -81,5 +81,7 @@ fn main() {
     println!("claim shape: the HDC model tracks the physics model closely (R² ≳ 0.9)");
     println!("while exposing only hypervectors — no physics parameters.");
     h.check("test R² close to 0.9 (>= 0.85)", r2_score >= 0.85);
-    h.finish();
+    if let Err(err) = h.finish() {
+        eprintln!("warning: manifest not written: {err}");
+    }
 }

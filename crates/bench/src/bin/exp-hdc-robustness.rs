@@ -91,5 +91,7 @@ fn main() {
         "accuracy drop at 40% error rate below 5 pp",
         (clean_acc - acc_at_40) * 100.0 < 5.0,
     );
-    h.finish();
+    if let Err(err) = h.finish() {
+        eprintln!("warning: manifest not written: {err}");
+    }
 }

@@ -54,5 +54,7 @@ fn main() {
     println!("claim shape: inside the cliff window the learned budgets hold the hit");
     println!("rate high by anticipating rollback inflation, at budgets far below");
     println!("WCET's constant worst-case allocation (~284k cycles).");
-    h.finish();
+    if let Err(err) = h.finish() {
+        eprintln!("warning: manifest not written: {err}");
+    }
 }

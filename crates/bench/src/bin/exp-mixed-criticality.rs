@@ -65,5 +65,7 @@ fn main() {
     println!("trade-off: the proactive (learned) policy buys earlier HI-mode entry at");
     println!("the cost of LO service once overruns become frequent.");
     h.check("HI misses are zero everywhere", hi_misses_total == 0);
-    h.finish();
+    if let Err(err) = h.finish() {
+        eprintln!("warning: manifest not written: {err}");
+    }
 }

@@ -100,5 +100,7 @@ fn main() {
         top3.iter()
             .any(|n| n.contains("Boost") || n.contains("boost")),
     );
-    h.finish();
+    if let Err(err) = h.finish() {
+        eprintln!("warning: manifest not written: {err}");
+    }
 }

@@ -96,5 +96,7 @@ fn main() {
         "MWTF-aware mapping beats performance-greedy on system MWTF",
         mwtf_of("MWTF-aware") >= mwtf_of("performance-greedy"),
     );
-    h.finish();
+    if let Err(err) = h.finish() {
+        eprintln!("warning: manifest not written: {err}");
+    }
 }

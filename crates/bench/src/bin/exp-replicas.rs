@@ -85,5 +85,7 @@ fn main() {
     println!("meeting the 1e-6 target in each environment and re-sizes automatically");
     println!("when conditions change — static policies are either wasteful (7x in calm)");
     println!("or under-protected (1x/3x in hostile).");
-    h.finish();
+    if let Err(err) = h.finish() {
+        eprintln!("warning: manifest not written: {err}");
+    }
 }

@@ -85,5 +85,7 @@ fn main() {
         "learned policy within 20% of the best static level",
         learned >= best_static - 0.2 * best_static.abs(),
     );
-    h.finish();
+    if let Err(err) = h.finish() {
+        eprintln!("warning: manifest not written: {err}");
+    }
 }

@@ -83,5 +83,7 @@ fn main() {
     });
     println!("claim shape: ML-selective sits between none and full DMR — most of");
     println!("full DMR's SDC reduction at a fraction of its slowdown.");
-    h.finish();
+    if let Err(err) = h.finish() {
+        eprintln!("warning: manifest not written: {err}");
+    }
 }

@@ -22,6 +22,11 @@ fn main() {
         runs: 40,
         ..SweepConfig::paper()
     };
+    // The bisection probes p inside [1e-8, 1e-4]; validating the bracket
+    // endpoints also validates runs, trace, and the nested configs.
+    config
+        .validate(&[1e-8, 1e-4], &trace)
+        .expect("valid sweep config");
     h.seed(config.seed);
     h.config("runs_per_point", config.runs as u64);
     // Threads recorded so manifest wall times are comparable across runs.
@@ -57,5 +62,7 @@ fn main() {
     println!("  - more speed headroom moves every wall to higher p (more noise absorbed);");
     println!("  - finer checkpointing moves the wall forward at high p (less work lost");
     println!("    per rollback) at the cost of checkpoint overhead at low p.");
-    h.finish();
+    if let Err(err) = h.finish() {
+        eprintln!("warning: manifest not written: {err}");
+    }
 }

@@ -119,5 +119,7 @@ fn main() {
         "warning query is cheaper than running the task",
         warn_t < task_t,
     );
-    h.finish();
+    if let Err(err) = h.finish() {
+        eprintln!("warning: manifest not written: {err}");
+    }
 }

@@ -2,12 +2,19 @@
 //!
 //! Every `exp-*` binary runs through a [`Harness`]: it prints the standard
 //! banner, installs a [`lori_obs::JsonlRecorder`] streaming to
-//! `results/<name>.events.jsonl` (disable with `LORI_OBS=off`), times each
-//! [`Harness::phase`], and on [`Harness::finish`] writes a
-//! [`lori_obs::RunManifest`] to `results/<name>.manifest.json` with the
-//! seed, config summary, code version, per-phase wall times, shape-check
-//! outcomes, and a snapshot of every metric the instrumented layers
-//! aggregated during the run.
+//! `results/<name>.events.jsonl` (disable with `LORI_OBS=off`), arms the
+//! `LORI_FAULT_PLAN` fault plan (if any), times each [`Harness::phase`],
+//! and on [`Harness::finish`] writes a [`lori_obs::RunManifest`] to
+//! `results/<name>.manifest.json` with the seed, config summary, code
+//! version, per-phase wall times, shape-check outcomes, and a snapshot of
+//! every metric the instrumented layers aggregated during the run.
+//!
+//! The harness never aborts a run over results plumbing: an uncreatable
+//! results directory degrades to a [`lori_obs::NullRecorder`] with a
+//! stderr warning, and manifest-write failures are returned from
+//! [`Harness::finish`] for the binary to report. All file artifacts are
+//! written atomically (temp file + rename), so a killed run never leaves a
+//! truncated manifest or event log under its final name.
 
 use lori_obs as obs;
 use obs::Value;
@@ -40,22 +47,34 @@ pub struct Harness {
 }
 
 impl Harness {
-    /// Starts an experiment: banner, results dir, recorder, manifest.
+    /// Starts an experiment: banner, results dir, recorder, fault plan,
+    /// manifest.
     ///
     /// `name` keys the output files (`results/<name>.events.jsonl`,
     /// `results/<name>.manifest.json`); `id` and `title` feed the banner.
     ///
-    /// # Panics
-    ///
-    /// Panics if the results directory cannot be created.
+    /// Never panics over results plumbing: if the results directory cannot
+    /// be created, the run continues with a [`obs::NullRecorder`] and a
+    /// stderr warning, and the write failure surfaces again from
+    /// [`Harness::finish`].
     #[must_use]
     pub fn new(name: &str, id: &str, title: &str) -> Self {
         crate::banner(id, title);
         let dir = results_dir();
-        std::fs::create_dir_all(&dir).expect("create results dir");
-        let events_path = if obs_enabled() {
+        let dir_ok = match std::fs::create_dir_all(&dir) {
+            Ok(()) => true,
+            Err(err) => {
+                eprintln!(
+                    "warning: cannot create results dir {}: {err}; \
+                     continuing without persistent outputs",
+                    dir.display()
+                );
+                false
+            }
+        };
+        let events_path = if dir_ok && obs_enabled() {
             let path = dir.join(format!("{name}.events.jsonl"));
-            match obs::JsonlRecorder::create(&path) {
+            match obs::JsonlRecorder::create_atomic(&path) {
                 Ok(rec) => {
                     obs::install(Arc::new(rec));
                     Some(path)
@@ -68,8 +87,22 @@ impl Harness {
         } else {
             None
         };
+        if events_path.is_none() {
+            obs::install(Arc::new(obs::NullRecorder));
+        }
         let mut manifest = obs::RunManifest::start(name);
         manifest.config("obs", events_path.is_some());
+        match lori_fault::init_from_env() {
+            Ok(Some(plan)) => {
+                let unknown = plan.unknown_sites();
+                if !unknown.is_empty() {
+                    eprintln!("warning: fault plan names unknown sites: {unknown:?}");
+                }
+                manifest.config("fault_plan", plan.to_string_lossless());
+            }
+            Ok(None) => {}
+            Err(err) => eprintln!("warning: ignoring invalid LORI_FAULT_PLAN: {err}"),
+        }
         Harness {
             name: name.to_owned(),
             manifest,
@@ -77,6 +110,12 @@ impl Harness {
             events_path,
             finished: false,
         }
+    }
+
+    /// The experiment name keying all output files.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// Records the master RNG seed in the manifest.
@@ -116,14 +155,19 @@ impl Harness {
     }
 
     /// Ends the run: uninstalls the recorder, snapshots all metrics, and
-    /// writes `results/<name>.manifest.json`.
-    pub fn finish(mut self) {
-        self.finish_inner();
+    /// writes `results/<name>.manifest.json` atomically.
+    ///
+    /// # Errors
+    ///
+    /// Returns the manifest-write error; the run's computed results are
+    /// unaffected, so binaries should warn rather than abort.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        self.finish_inner()
     }
 
-    fn finish_inner(&mut self) {
+    fn finish_inner(&mut self) -> std::io::Result<()> {
         if self.finished {
-            return;
+            return Ok(());
         }
         self.finished = true;
         obs::uninstall();
@@ -138,23 +182,22 @@ impl Harness {
         }
         self.manifest.finish(obs::registry().snapshot());
         let path = results_dir().join(format!("{}.manifest.json", self.name));
-        match self.manifest.write(&path) {
-            Ok(()) => {
-                print!("manifest: {}", path.display());
-                if let Some(events) = &self.events_path {
-                    print!("  events: {}", events.display());
-                }
-                println!();
-            }
-            Err(err) => eprintln!("warning: cannot write {}: {err}", path.display()),
+        self.manifest.write(&path)?;
+        print!("manifest: {}", path.display());
+        if let Some(events) = &self.events_path {
+            print!("  events: {}", events.display());
         }
+        println!();
+        Ok(())
     }
 }
 
 impl Drop for Harness {
     fn drop(&mut self) {
         // A panicking experiment still leaves a manifest behind.
-        self.finish_inner();
+        if let Err(err) = self.finish_inner() {
+            eprintln!("warning: cannot write manifest for {}: {err}", self.name);
+        }
     }
 }
 
@@ -169,13 +212,14 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("lori-harness-{}", std::process::id()));
         std::env::set_var("LORI_RESULTS_DIR", &dir);
         let mut h = Harness::new("exp-unit", "E0", "harness unit test");
+        assert_eq!(h.name(), "exp-unit");
         h.seed(9);
         h.config("runs", 3u64);
         let total: u64 = h.phase("compute", || (0..100u64).sum());
         assert_eq!(total, 4950);
         h.check("sum matches", total == 4950);
         assert!(h.all_checks_pass());
-        h.finish();
+        h.finish().expect("manifest written");
         std::env::remove_var("LORI_RESULTS_DIR");
 
         let manifest =
@@ -202,5 +246,20 @@ mod tests {
             Value::parse(line).expect("event line parses");
         }
         std::fs::remove_dir_all(&dir).ok();
+
+        // Degraded mode, same test body (the recorder and LORI_RESULTS_DIR
+        // are process-global): a file where the results dir should be makes
+        // create_dir_all fail; the harness must warn and keep computing,
+        // and finish() must return the write error instead of panicking.
+        let blocker = std::env::temp_dir().join(format!("lori-harness-blk-{}", std::process::id()));
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        std::env::set_var("LORI_RESULTS_DIR", &blocker);
+        let mut h = Harness::new("exp-degraded", "E0", "degraded harness");
+        let out = h.phase("compute", || 21 * 2);
+        assert_eq!(out, 42);
+        let err = h.finish().expect_err("manifest write must fail");
+        assert!(!err.to_string().is_empty());
+        std::env::remove_var("LORI_RESULTS_DIR");
+        std::fs::remove_file(&blocker).ok();
     }
 }

@@ -7,9 +7,11 @@
 
 pub mod harness;
 pub mod perf;
+pub mod resume;
 
 pub use harness::Harness;
 pub use perf::{write_bench_sweep, SweepTiming};
+pub use resume::{resumable_sweep, SweepOutcome};
 
 use std::fmt::Write as _;
 

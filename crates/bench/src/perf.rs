@@ -80,7 +80,10 @@ pub fn write_bench_sweep(
     let dir = results_dir();
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join("BENCH_sweep.json");
-    std::fs::write(&path, format!("{}\n", doc.to_json())).expect("write BENCH_sweep.json");
+    // Atomic replace: a perf trajectory diff must never see a half-written
+    // record from a killed bench run.
+    lori_fault::atomic_write(&path, format!("{}\n", doc.to_json()).as_bytes())
+        .expect("write BENCH_sweep.json");
     path
 }
 

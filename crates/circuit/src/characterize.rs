@@ -72,6 +72,13 @@ fn characterize_cell(
                     value: corner.delta_vth.value(),
                 });
             }
+            if !t.out_slew_ps.is_finite() {
+                lori_fault::detected("circuit.characterize");
+                return Err(CircuitError::NonFinite {
+                    site: "circuit.characterize",
+                    what: "out_slew_ps",
+                });
+            }
             delay[i][j] = t.delay_ps;
             out_slew[i][j] = t.out_slew_ps;
         }
@@ -160,7 +167,12 @@ fn build_library(
         .flat_map(|kind| DRIVE_STRENGTHS.into_iter().map(move |drive| (kind, drive)))
         .collect();
     let _span = lori_obs::span("circuit.characterize_library");
-    let cells = lori_par::par_map(par, &catalog, |_, &(kind, drive)| {
+    // `panic@circuit.characterize:<N>` faults the N-th catalog cell; the
+    // index is the deterministic catalog position, so the same cell faults
+    // under any worker count.
+    let cells = lori_par::par_map(par, &catalog, |ci, &(kind, drive)| {
+        #[allow(clippy::cast_possible_truncation)]
+        lori_fault::check_panic("circuit.characterize", ci as u64);
         characterize_cell(sim, kind, drive, corner, she)
     });
     let mut lib = Library::new();

@@ -31,6 +31,14 @@ pub enum CircuitError {
     FloatingNet(usize),
     /// The ML characterization model failed to train.
     Training(String),
+    /// A computation produced a non-finite value (possibly an injected
+    /// fault) that a layer-boundary guard caught.
+    NonFinite {
+        /// Guard site that caught the value.
+        site: &'static str,
+        /// Name of the non-finite quantity.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -49,6 +57,9 @@ impl fmt::Display for CircuitError {
             }
             CircuitError::FloatingNet(id) => write!(f, "net {id} has no driver"),
             CircuitError::Training(msg) => write!(f, "ml characterization training failed: {msg}"),
+            CircuitError::NonFinite { site, what } => {
+                write!(f, "non-finite {what} detected at {site}")
+            }
         }
     }
 }

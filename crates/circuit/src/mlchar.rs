@@ -187,8 +187,17 @@ impl MlCharacterizer {
                     continue; // dead corner sample; skip
                 }
                 xs.push(vec![slew, load, dt, dvth]);
-                delays.push(t.delay_ps);
-                slews.push(t.out_slew_ps);
+                // `nan@circuit.mlchar` poisons golden training targets;
+                // the guard below refuses to fit on corrupted data.
+                delays.push(lori_fault::poison_f64("circuit.mlchar", t.delay_ps));
+                slews.push(lori_fault::poison_f64("circuit.mlchar", t.out_slew_ps));
+            }
+            if delays.iter().chain(&slews).any(|v| !v.is_finite()) {
+                lori_fault::detected("circuit.mlchar");
+                return Err(CircuitError::NonFinite {
+                    site: "circuit.mlchar",
+                    what: "training target",
+                });
             }
             let delay_ds = Dataset::from_rows(xs.clone(), delays)
                 .map_err(|e| CircuitError::Training(e.to_string()))?;

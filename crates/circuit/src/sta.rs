@@ -175,7 +175,7 @@ fn run_inner(
             .inputs
             .iter()
             .map(|n| (n, arrival[n.0]))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite arrival"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .expect("cells have at least one input");
         let in_slew = inst.inputs.iter().map(|n| slew[n.0]).fold(0.0f64, f64::max);
         let load = loads[inst.output.0];
@@ -187,6 +187,20 @@ fn run_inner(
             }
             None => lib.cell(inst.cell).timing(in_slew, load),
         };
+        // Layer-boundary NaN guard: a corrupted library read (real, or an
+        // injected nan@circuit.lut) must surface as a typed error here,
+        // not silently propagate NaN arrivals into timing reports.
+        if !delay.is_finite() || !out_slew.is_finite() {
+            lori_fault::detected("circuit.lut");
+            return Err(CircuitError::NonFinite {
+                site: "circuit.lut",
+                what: if delay.is_finite() {
+                    "out_slew"
+                } else {
+                    "delay"
+                },
+            });
+        }
 
         inst_delay[inst_id.0] = delay;
         inst_slew_in[inst_id.0] = in_slew;
@@ -205,10 +219,8 @@ fn run_inner(
         .primary_outputs()
         .iter()
         .map(|n| n.0)
-        .max_by(|&a, &b| arrival[a].partial_cmp(&arrival[b]).expect("finite"))
-        .or_else(|| {
-            (0..n_nets).max_by(|&a, &b| arrival[a].partial_cmp(&arrival[b]).expect("finite"))
-        });
+        .max_by(|&a, &b| arrival[a].total_cmp(&arrival[b]))
+        .or_else(|| (0..n_nets).max_by(|&a, &b| arrival[a].total_cmp(&arrival[b])));
     let (max_arrival, critical_path) = match endpoint {
         Some(end) => {
             let mut path = Vec::new();

@@ -1,0 +1,353 @@
+//! A checksummed write-ahead result log.
+//!
+//! Long experiments append one line per completed unit of work (sweep
+//! point, cell, …) to `results/<name>.wal.jsonl`. On restart the harness
+//! replays the log, keeps every entry whose checksum verifies, and only
+//! recomputes the rest — so a killed run resumes instead of starting
+//! over, and the final artifacts are byte-identical to an uninterrupted
+//! run (results are replayed bit-exactly, never recomputed differently).
+//!
+//! Format: the first line is a caller-supplied JSON header (typically a
+//! fingerprint of the experiment configuration); every following line is
+//! `{"i":<index>,"crc":"<fnv64 hex>","data":<payload>}` where the
+//! checksum covers the serialized payload. Replay stops at the first
+//! line that fails to parse or verify — a truncated tail from a killed
+//! process is silently dropped, matching append-only crash semantics.
+
+use lori_obs::Value;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// FNV-1a 64-bit over arbitrary bytes: the WAL checksum and the
+/// injection-decision hash. Stable across platforms and runs.
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// An append-only, per-entry-checksummed result log.
+#[derive(Debug)]
+pub struct WalWriter {
+    writer: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl WalWriter {
+    /// Creates (truncating) a WAL at `path` with the given header line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: impl AsRef<Path>, header: &Value) -> std::io::Result<WalWriter> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        let mut writer = BufWriter::new(file);
+        writer.write_all(header.to_json().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        Ok(WalWriter { writer, path })
+    }
+
+    /// Opens an existing WAL (or creates one with `header`) and returns
+    /// the writer positioned for appending plus every valid replayed
+    /// entry.
+    ///
+    /// If the existing header does not match `header` — the experiment
+    /// configuration changed — the old log is discarded and a fresh one
+    /// started. A partially-corrupt log is compacted: the valid prefix is
+    /// rewritten through a temp file and atomically renamed into place,
+    /// so a crash during resume never loses previously durable entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn resume(
+        path: impl AsRef<Path>,
+        header: &Value,
+    ) -> std::io::Result<(WalWriter, Vec<(u64, Value)>)> {
+        let path = path.as_ref().to_path_buf();
+        let replayed = replay(&path);
+        let entries = if replayed.header.as_ref() == Some(header) {
+            replayed.entries
+        } else {
+            Vec::new()
+        };
+        // Rewrite the valid prefix via temp + rename; keep the handle,
+        // which stays bound to the renamed file for further appends.
+        let tmp = tmp_sibling(&path);
+        let mut writer = BufWriter::new(File::create(&tmp)?);
+        writer.write_all(header.to_json().as_bytes())?;
+        writer.write_all(b"\n")?;
+        for (index, data) in &entries {
+            write_entry(&mut writer, *index, data)?;
+        }
+        writer.flush()?;
+        std::fs::rename(&tmp, &path)?;
+        Ok((WalWriter { writer, path }, entries))
+    }
+
+    /// Appends one checksummed entry and flushes it to the OS, so the
+    /// entry survives the process being killed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append(&mut self, index: u64, data: &Value) -> std::io::Result<()> {
+        write_entry(&mut self.writer, index, data)?;
+        self.writer.flush()
+    }
+
+    /// The log's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn write_entry(writer: &mut impl Write, index: u64, data: &Value) -> std::io::Result<()> {
+    let payload = data.to_json();
+    let crc = fnv64(payload.as_bytes());
+    writeln!(
+        writer,
+        "{{\"i\":{index},\"crc\":\"{crc:016x}\",\"data\":{payload}}}"
+    )
+}
+
+/// The result of replaying a WAL file.
+#[derive(Debug, Default)]
+pub struct WalReplay {
+    /// The parsed header line, when present and valid.
+    pub header: Option<Value>,
+    /// Every entry of the valid prefix, in file order.
+    pub entries: Vec<(u64, Value)>,
+    /// Number of lines dropped at the tail (truncation / corruption).
+    pub dropped: usize,
+}
+
+/// Replays the WAL at `path`. A missing file yields an empty replay;
+/// replay stops at the first unparsable or checksum-failing line.
+#[must_use]
+pub fn replay(path: impl AsRef<Path>) -> WalReplay {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return WalReplay::default();
+    };
+    let mut lines = text.lines();
+    let header = lines.next().and_then(|l| Value::parse(l).ok());
+    if header.is_none() {
+        return WalReplay {
+            header: None,
+            entries: Vec::new(),
+            dropped: text.lines().count(),
+        };
+    }
+    let mut entries = Vec::new();
+    let mut dropped = 0;
+    let mut good = true;
+    for line in lines {
+        if good {
+            if let Some(entry) = parse_entry(line) {
+                entries.push(entry);
+                continue;
+            }
+            good = false;
+        }
+        dropped += 1;
+    }
+    WalReplay {
+        header,
+        entries,
+        dropped,
+    }
+}
+
+fn parse_entry(line: &str) -> Option<(u64, Value)> {
+    let v = Value::parse(line).ok()?;
+    let index = v.get("i")?.as_f64()?;
+    if index < 0.0 || index.fract() != 0.0 {
+        return None;
+    }
+    let crc = v.get("crc")?.as_str()?;
+    let data = v.get("data")?;
+    let expected = u64::from_str_radix(crc, 16).ok()?;
+    if fnv64(data.to_json().as_bytes()) != expected {
+        crate::detected("wal.replay");
+        return None;
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    Some((index as u64, data.clone()))
+}
+
+/// Writes `bytes` to `path` through a same-directory temp file and an
+/// atomic rename, so readers never observe a truncated artifact.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let tmp = tmp_sibling(path);
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp)?;
+    file.write_all(bytes)?;
+    file.flush()?;
+    drop(file);
+    std::fs::rename(&tmp, path)
+}
+
+/// A same-directory temp name, unique per process so concurrent test
+/// processes sharing a results dir never clobber each other mid-write.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let name = path.file_name().map_or_else(
+        || "artifact".to_owned(),
+        |n| n.to_string_lossy().into_owned(),
+    );
+    path.with_file_name(format!(".{name}.tmp.{}", std::process::id()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lori-fault-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn point(i: u64) -> Value {
+        #[allow(clippy::cast_precision_loss)]
+        Value::Obj(vec![
+            ("p".to_owned(), Value::from(1e-6 * (i + 1) as f64)),
+            ("mean".to_owned(), Value::from(0.125 * (i + 1) as f64)),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_and_replay() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("exp.wal.jsonl");
+        let header = Value::Obj(vec![("fp".to_owned(), Value::from("abc"))]);
+        let mut wal = WalWriter::create(&path, &header).unwrap();
+        for i in 0..5 {
+            wal.append(i, &point(i)).unwrap();
+        }
+        drop(wal);
+        let replayed = replay(&path);
+        assert_eq!(replayed.header, Some(header));
+        assert_eq!(replayed.entries.len(), 5);
+        assert_eq!(replayed.dropped, 0);
+        assert_eq!(replayed.entries[3].0, 3);
+        assert_eq!(replayed.entries[3].1, point(3));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped() {
+        let dir = tmp_dir("truncate");
+        let path = dir.join("exp.wal.jsonl");
+        let header = Value::Obj(vec![("fp".to_owned(), Value::from("abc"))]);
+        let mut wal = WalWriter::create(&path, &header).unwrap();
+        for i in 0..4 {
+            wal.append(i, &point(i)).unwrap();
+        }
+        drop(wal);
+        // Simulate a kill mid-append: chop the file mid-line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 7]).unwrap();
+        let replayed = replay(&path);
+        assert_eq!(replayed.entries.len(), 3, "partial last line dropped");
+        assert_eq!(replayed.dropped, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bitflipped_entry_fails_its_checksum() {
+        let dir = tmp_dir("bitflip");
+        let path = dir.join("exp.wal.jsonl");
+        let header = Value::Obj(vec![("fp".to_owned(), Value::from("abc"))]);
+        let mut wal = WalWriter::create(&path, &header).unwrap();
+        for i in 0..3 {
+            wal.append(i, &point(i)).unwrap();
+        }
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one digit inside the *second* entry's payload.
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        let second = text.lines().nth(2).unwrap();
+        let offset = text.find(second).unwrap() + second.find("mean").unwrap() + 7;
+        bytes[offset] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let replayed = replay(&path);
+        assert_eq!(replayed.entries.len(), 1, "stop at corrupt entry");
+        assert_eq!(replayed.dropped, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_discards_on_header_mismatch_and_compacts() {
+        let dir = tmp_dir("resume");
+        let path = dir.join("exp.wal.jsonl");
+        let h1 = Value::Obj(vec![("fp".to_owned(), Value::from("config-1"))]);
+        let mut wal = WalWriter::create(&path, &h1).unwrap();
+        wal.append(0, &point(0)).unwrap();
+        wal.append(1, &point(1)).unwrap();
+        drop(wal);
+
+        // Same header: entries survive, and appends continue.
+        let (mut wal, entries) = WalWriter::resume(&path, &h1).unwrap();
+        assert_eq!(entries.len(), 2);
+        wal.append(2, &point(2)).unwrap();
+        drop(wal);
+        assert_eq!(replay(&path).entries.len(), 3);
+
+        // Changed header (config changed): start over.
+        let h2 = Value::Obj(vec![("fp".to_owned(), Value::from("config-2"))]);
+        let (wal, entries) = WalWriter::resume(&path, &h2).unwrap();
+        assert!(entries.is_empty());
+        drop(wal);
+        let replayed = replay(&path);
+        assert_eq!(replayed.header, Some(h2));
+        assert!(replayed.entries.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_file() {
+        let dir = tmp_dir("atomic");
+        let path = dir.join("artifact.json");
+        atomic_write(&path, b"{\"v\":1}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":1}\n");
+        atomic_write(&path, b"{\"v\":2}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":2}\n");
+        // No temp droppings left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_wal_is_empty() {
+        let replayed = replay("/nonexistent/definitely/not/here.wal.jsonl");
+        assert!(replayed.header.is_none());
+        assert!(replayed.entries.is_empty());
+    }
+
+    #[test]
+    fn fnv64_is_stable() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv64(b"a"), fnv64(b"b"));
+    }
+}

@@ -38,6 +38,38 @@ impl SweepConfig {
             seed: 0,
         }
     }
+
+    /// Validates the full sweep input: the config itself (positive
+    /// parameters, nonzero runs) plus the probability axis and trace it
+    /// will run over. [`sweep_with`] calls this, and experiment binaries
+    /// call it up front so a bad run dies before any work is spent.
+    ///
+    /// # Errors
+    ///
+    /// [`FtError::EmptySweep`] for an empty axis or zero runs,
+    /// [`FtError::EmptyTrace`] for an empty trace,
+    /// [`FtError::BadProbability`] for non-finite or out-of-range
+    /// probabilities, and parameter errors from the checkpoint and
+    /// mitigation validators.
+    pub fn validate(&self, p_values: &[f64], trace: &[Cycles]) -> Result<(), FtError> {
+        if p_values.is_empty() {
+            return Err(FtError::EmptySweep("probability point"));
+        }
+        if self.runs == 0 {
+            return Err(FtError::EmptySweep("run"));
+        }
+        if trace.is_empty() {
+            return Err(FtError::EmptyTrace);
+        }
+        for &p in p_values {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(FtError::BadProbability(p));
+            }
+        }
+        self.checkpoints.validate()?;
+        self.mitigation.validate()?;
+        Ok(())
+    }
 }
 
 impl Default for SweepConfig {
@@ -98,19 +130,84 @@ pub fn sweep_with(
     config: &SweepConfig,
     par: Parallelism,
 ) -> Result<Vec<SweepPoint>, FtError> {
-    if p_values.is_empty() {
-        return Err(FtError::EmptySweep("probability point"));
-    }
-    if config.runs == 0 {
-        return Err(FtError::EmptySweep("run"));
-    }
-    if trace.is_empty() {
-        return Err(FtError::EmptyTrace);
-    }
-    config.checkpoints.validate()?;
-    config.mitigation.validate()?;
+    let tasks = point_tasks(p_values, trace, config)?;
+    let _sweep_span = lori_obs::span("ftsched.sweep");
+    lori_par::par_map(par, &tasks, |_, task| run_point(task, trace, config))
+        .into_iter()
+        .collect()
+}
 
-    let wcet_work = trace.iter().copied().max().expect("non-empty trace");
+/// One probability point's unit of work: its index on the axis, its
+/// probability, and the RNG stream that was split off the sweep root for
+/// it. Tasks are produced by [`point_tasks`] and executed by
+/// [`run_point`]; resumable harnesses schedule any subset of them in any
+/// order without changing results.
+#[derive(Debug, Clone)]
+pub struct PointTask {
+    /// Index of this point on the probability axis.
+    pub index: usize,
+    /// The per-cycle error probability.
+    pub p: f64,
+    errors: ErrorModel,
+    rng: Rng,
+}
+
+/// Validates the sweep input and splits one [`PointTask`] per probability
+/// point. Streams are split off the root serially, in point order, before
+/// any fan-out — the determinism contract: a point's stream depends only
+/// on its index, never on scheduling.
+///
+/// # Errors
+///
+/// Same as [`SweepConfig::validate`].
+pub fn point_tasks(
+    p_values: &[f64],
+    trace: &[Cycles],
+    config: &SweepConfig,
+) -> Result<Vec<PointTask>, FtError> {
+    config.validate(p_values, trace)?;
+    let mut root = Rng::from_seed(config.seed);
+    p_values
+        .iter()
+        .enumerate()
+        .map(|(pi, &p)| {
+            #[allow(clippy::cast_possible_truncation)]
+            let rng = root.split(pi as u64);
+            Ok(PointTask {
+                index: pi,
+                p,
+                errors: ErrorModel::new(p)?,
+                rng,
+            })
+        })
+        .collect()
+}
+
+/// Runs one probability point to completion. Self-contained: every
+/// floating-point accumulation stays inside this call, and the
+/// `ftsched.rollbacks` / `ftsched.deadline_misses` counters are merged
+/// with one atomic increment per point, so metric totals are exact no
+/// matter how points interleave across workers.
+///
+/// This is also a fault-injection site: `panic@sweep.point:<index>` panics
+/// when this task's index matches, and `nan@sweep.point` poisons the
+/// accumulated cycle total, which the non-finite guard below converts into
+/// a typed [`FtError::NonFinite`] instead of letting NaN leak into
+/// artifacts.
+///
+/// # Errors
+///
+/// [`FtError::NonFinite`] when a per-point statistic comes out non-finite
+/// (injected or real).
+pub fn run_point(
+    task: &PointTask,
+    trace: &[Cycles],
+    config: &SweepConfig,
+) -> Result<SweepPoint, FtError> {
+    #[allow(clippy::cast_possible_truncation)]
+    lori_fault::check_panic("sweep.point", task.index as u64);
+    let _point_span = lori_obs::span_with("ftsched.sweep.point", task.p);
+    let wcet_work = trace.iter().copied().max().ok_or(FtError::EmptyTrace)?;
     let systems: Vec<MitigationSystem> = BudgetAlgorithm::ALL
         .iter()
         .map(|&alg| MitigationSystem {
@@ -118,84 +215,83 @@ pub fn sweep_with(
             ..config.mitigation
         })
         .collect();
-
-    // Per-segment fault-free cycles depend only on the checkpoint config,
-    // so compute them once for the whole sweep instead of runs × segments
-    // times per point.
+    // Per-segment fault-free cycles depend only on the checkpoint config.
     let fault_free_run_total: f64 = trace
         .iter()
         .map(|&work| config.checkpoints.fault_free_cycles(work).as_f64())
         .sum();
 
-    // Validate every probability and split every point's RNG stream off
-    // the root serially, in point order, before any fan-out. This is the
-    // determinism contract: a point's stream depends only on its index.
-    let mut root = Rng::from_seed(config.seed);
-    let tasks: Vec<(f64, ErrorModel, Rng)> = p_values
-        .iter()
-        .enumerate()
-        .map(|(pi, &p)| {
-            #[allow(clippy::cast_possible_truncation)]
-            let point_rng = root.split(pi as u64);
-            Ok((p, ErrorModel::new(p)?, point_rng))
-        })
-        .collect::<Result<_, FtError>>()?;
-
-    let _sweep_span = lori_obs::span("ftsched.sweep");
-    let rollback_counter = lori_obs::counter("ftsched.rollbacks");
-    let deadline_miss_counter = lori_obs::counter("ftsched.deadline_misses");
-    let points = lori_par::par_map(par, &tasks, |_, (p, errors, point_rng)| {
-        let _point_span = lori_obs::span_with("ftsched.sweep.point", *p);
-        let mut point_rng = point_rng.clone();
-        let mut rollback_runs = Running::new();
-        let mut point_rollbacks = 0u64;
-        let mut hits = [0u64; 4];
-        let mut segments_total = 0u64;
-        let mut cycles_actual = 0.0f64;
-        let mut cycles_fault_free = 0.0f64;
-        for run in 0..config.runs {
-            #[allow(clippy::cast_possible_truncation)]
-            let mut rng = point_rng.split(run as u64);
-            let mut run_rollbacks = 0u64;
-            let mut trackers: Vec<_> = systems.iter().map(MitigationSystem::tracker).collect();
-            for &work in trace {
-                let ex = config.checkpoints.execute_segment(work, errors, &mut rng);
-                run_rollbacks = run_rollbacks.saturating_add(ex.rollbacks);
-                segments_total += 1;
-                cycles_actual += ex.total_cycles.as_f64();
-                for ((s, t), h) in systems.iter().zip(&mut trackers).zip(&mut hits) {
-                    if t.advance(s, work, wcet_work, ex.total_cycles, &config.checkpoints) {
-                        *h += 1;
-                    }
+    let mut point_rng = task.rng.clone();
+    let mut rollback_runs = Running::new();
+    let mut point_rollbacks = 0u64;
+    let mut hits = [0u64; 4];
+    let mut segments_total = 0u64;
+    let mut cycles_actual = 0.0f64;
+    let mut cycles_fault_free = 0.0f64;
+    for run in 0..config.runs {
+        #[allow(clippy::cast_possible_truncation)]
+        let mut rng = point_rng.split(run as u64);
+        let mut run_rollbacks = 0u64;
+        let mut trackers: Vec<_> = systems.iter().map(MitigationSystem::tracker).collect();
+        for &work in trace {
+            let ex = config
+                .checkpoints
+                .execute_segment(work, &task.errors, &mut rng);
+            run_rollbacks = run_rollbacks.saturating_add(ex.rollbacks);
+            segments_total += 1;
+            cycles_actual += ex.total_cycles.as_f64();
+            for ((s, t), h) in systems.iter().zip(&mut trackers).zip(&mut hits) {
+                if t.advance(s, work, wcet_work, ex.total_cycles, &config.checkpoints) {
+                    *h += 1;
                 }
             }
-            cycles_fault_free += fault_free_run_total;
-            point_rollbacks = point_rollbacks.saturating_add(run_rollbacks);
-            #[allow(clippy::cast_precision_loss)]
-            rollback_runs.push(run_rollbacks as f64 / trace.len() as f64);
         }
-        // One aggregated increment per point: commutative, so metric
-        // totals are exact no matter how points interleave across workers.
-        rollback_counter.incr(point_rollbacks);
-        deadline_miss_counter.incr(4 * segments_total - hits.iter().sum::<u64>());
+        cycles_fault_free += fault_free_run_total;
+        point_rollbacks = point_rollbacks.saturating_add(run_rollbacks);
         #[allow(clippy::cast_precision_loss)]
-        let per_alg_total = segments_total as f64;
-        #[allow(clippy::cast_precision_loss)]
-        let hit_rate = [
-            hits[0] as f64 / per_alg_total,
-            hits[1] as f64 / per_alg_total,
-            hits[2] as f64 / per_alg_total,
-            hits[3] as f64 / per_alg_total,
-        ];
-        SweepPoint {
-            p: *p,
-            avg_rollbacks_per_segment: rollback_runs.mean(),
-            rollbacks_std: rollback_runs.std_dev(),
-            hit_rate,
-            cycle_overhead: cycles_actual / cycles_fault_free - 1.0,
+        rollback_runs.push(run_rollbacks as f64 / trace.len() as f64);
+    }
+    cycles_actual = lori_fault::poison_f64("sweep.point", cycles_actual);
+    lori_obs::counter("ftsched.rollbacks").incr(point_rollbacks);
+    lori_obs::counter("ftsched.deadline_misses")
+        .incr(4 * segments_total - hits.iter().sum::<u64>());
+    #[allow(clippy::cast_precision_loss)]
+    let per_alg_total = segments_total as f64;
+    #[allow(clippy::cast_precision_loss)]
+    let hit_rate = [
+        hits[0] as f64 / per_alg_total,
+        hits[1] as f64 / per_alg_total,
+        hits[2] as f64 / per_alg_total,
+        hits[3] as f64 / per_alg_total,
+    ];
+    let point = SweepPoint {
+        p: task.p,
+        avg_rollbacks_per_segment: rollback_runs.mean(),
+        rollbacks_std: rollback_runs.std_dev(),
+        hit_rate,
+        cycle_overhead: cycles_actual / cycles_fault_free - 1.0,
+    };
+    for (what, v) in [
+        ("avg_rollbacks_per_segment", point.avg_rollbacks_per_segment),
+        ("rollbacks_std", point.rollbacks_std),
+        ("cycle_overhead", point.cycle_overhead),
+    ] {
+        if !v.is_finite() {
+            lori_fault::detected("sweep.point");
+            return Err(FtError::NonFinite {
+                site: "sweep.point",
+                what,
+            });
         }
-    });
-    Ok(points)
+    }
+    if point.hit_rate.iter().any(|h| !h.is_finite()) {
+        lori_fault::detected("sweep.point");
+        return Err(FtError::NonFinite {
+            site: "sweep.point",
+            what: "hit_rate",
+        });
+    }
+    Ok(point)
 }
 
 /// The paper's Fig. 5/6 probability axis: log-spaced points from 1e-8 to
@@ -308,6 +404,43 @@ mod tests {
         };
         assert!(sweep(&[1e-6], &trace, &zero_runs).is_err());
         assert!(sweep(&[2.0], &trace, &quick_config()).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_axes_and_configs() {
+        let trace = adpcm_reference_trace();
+        let config = quick_config();
+        assert!(config.validate(&[1e-6], &trace).is_ok());
+        assert_eq!(
+            config.validate(&[], &trace),
+            Err(FtError::EmptySweep("probability point"))
+        );
+        assert_eq!(config.validate(&[1e-6], &[]), Err(FtError::EmptyTrace));
+        let zero_runs = SweepConfig {
+            runs: 0,
+            ..config.clone()
+        };
+        assert_eq!(
+            zero_runs.validate(&[1e-6], &trace),
+            Err(FtError::EmptySweep("run"))
+        );
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.5, 1.5] {
+            assert!(
+                matches!(
+                    config.validate(&[1e-6, bad], &trace),
+                    Err(FtError::BadProbability(_))
+                ),
+                "p={bad} must be rejected"
+            );
+        }
+        let bad_ckpt = SweepConfig {
+            checkpoints: crate::checkpoint::CheckpointSystem {
+                checkpoints_per_segment: 0,
+                ..Default::default()
+            },
+            ..config
+        };
+        assert!(bad_ckpt.validate(&[1e-6], &trace).is_err());
     }
 
     #[test]

@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub(crate) mod fsio;
 pub mod json;
 pub mod manifest;
 pub mod metrics;

@@ -124,13 +124,15 @@ impl RunManifest {
         self.to_value().to_json()
     }
 
-    /// Writes the manifest file.
+    /// Writes the manifest file atomically (temp file + rename), so a
+    /// crash mid-write never leaves a truncated manifest and a concurrent
+    /// reader never observes a partial one.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn write(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json() + "\n")
+        crate::fsio::atomic_write(path.as_ref(), (self.to_json() + "\n").as_bytes())
     }
 }
 

@@ -134,6 +134,10 @@ impl Recorder for NullRecorder {
 #[derive(Debug)]
 pub struct JsonlRecorder {
     writer: Mutex<BufWriter<File>>,
+    /// `Some((tmp, destination))` when created via
+    /// [`JsonlRecorder::create_atomic`]: the stream goes to `tmp` and is
+    /// renamed into place when the recorder is dropped.
+    rename_on_drop: Option<(std::path::PathBuf, std::path::PathBuf)>,
 }
 
 impl JsonlRecorder {
@@ -146,7 +150,40 @@ impl JsonlRecorder {
         let file = File::create(path)?;
         Ok(JsonlRecorder {
             writer: Mutex::new(BufWriter::new(file)),
+            rename_on_drop: None,
         })
+    }
+
+    /// Like [`JsonlRecorder::create`], but the stream is written to a
+    /// same-directory temp file and renamed onto `path` when the recorder
+    /// is dropped (i.e. after [`crate::uninstall`] releases the last
+    /// reference). A previous run's complete event log is never replaced
+    /// by a partial one: a killed process leaves only the temp file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create_atomic(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let tmp = crate::fsio::tmp_sibling(&path);
+        let file = File::create(&tmp)?;
+        Ok(JsonlRecorder {
+            writer: Mutex::new(BufWriter::new(file)),
+            rename_on_drop: Some((tmp, path)),
+        })
+    }
+}
+
+impl Drop for JsonlRecorder {
+    fn drop(&mut self) {
+        let _ = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .flush();
+        if let Some((tmp, path)) = self.rename_on_drop.take() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
     }
 }
 
