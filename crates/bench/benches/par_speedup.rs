@@ -8,12 +8,14 @@
 
 use criterion::{black_box, BenchmarkId, Criterion};
 use lori_bench::{write_bench_sweep, SweepTiming};
+use lori_cache::{Cache, CacheMode};
 use lori_circuit::characterize::{characterize_library_par, Corner};
 use lori_circuit::spicelike::GoldenSimulator;
 use lori_circuit::tech::TechParams;
 use lori_ftsched::montecarlo::{paper_probability_axis, sweep_with, SweepConfig};
 use lori_ftsched::workload::adpcm_reference_trace;
 use lori_par::Parallelism;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The parallel side of every comparison: `LORI_THREADS` if set, all
@@ -43,7 +45,11 @@ fn bench_sweep(c: &mut Criterion) {
 }
 
 fn bench_characterize(c: &mut Criterion) {
-    let sim = GoldenSimulator::new(TechParams::default()).expect("simulator");
+    // Cache off: this bench measures the parallel executor over real
+    // golden-model work; memoization payoff is golden_cache's job.
+    let sim =
+        GoldenSimulator::with_cache(TechParams::default(), Arc::new(Cache::new(CacheMode::Off)))
+            .expect("simulator");
     let corner = Corner::default();
     let par = parallel_workers();
 

@@ -5,6 +5,7 @@
 //! per-instance SHE temperatures spread widely because each instance's
 //! input slew, connected load, and position differ.
 
+use lori_bench::harness::results_dir;
 use lori_bench::{fmt, render_table, Harness};
 use lori_circuit::characterize::{characterize_library, she_as_delay_library, Corner};
 use lori_circuit::netlist::processor_datapath;
@@ -13,6 +14,7 @@ use lori_circuit::spicelike::GoldenSimulator;
 use lori_circuit::sta::{run_sta, StaConfig};
 use lori_circuit::tech::TechParams;
 use lori_core::stats::{max, mean, min, percentile, std_dev};
+use lori_obs::Value;
 use std::collections::BTreeMap;
 
 fn main() {
@@ -121,6 +123,17 @@ fn main() {
         "SHE temperatures spread despite few distinct cells",
         std_dev(she).expect("non-empty") > 0.0 && distinct_cells.len() < 100,
     );
+
+    // Deterministic data artifact (no timestamps, atomic write): the full
+    // per-instance SHE vector. Runs with different cache modes or thread
+    // counts must produce byte-identical files — CI compares them directly.
+    let doc = Value::Arr(she.iter().map(|&v| Value::from(v)).collect());
+    let path = results_dir().join("exp-fig2.she.json");
+    match lori_fault::atomic_write(&path, format!("{}\n", doc.to_json()).as_bytes()) {
+        Ok(()) => println!("she data: {}", path.display()),
+        Err(err) => eprintln!("warning: she data not written: {err}"),
+    }
+
     if let Err(err) = h.finish() {
         eprintln!("warning: manifest not written: {err}");
     }

@@ -92,6 +92,10 @@ impl Harness {
         }
         let mut manifest = obs::RunManifest::start(name);
         manifest.config("obs", events_path.is_some());
+        // The golden-model cache mode changes wall time, never bytes; it is
+        // recorded (with the cache.* metric snapshot finish() takes) so a
+        // perf-trajectory diff can tell a warm-cache run from a cold one.
+        manifest.config("cache", lori_cache::mode_string());
         match lori_fault::init_from_env() {
             Ok(Some(plan)) => {
                 let unknown = plan.unknown_sites();

@@ -10,7 +10,7 @@ pub mod perf;
 pub mod resume;
 
 pub use harness::Harness;
-pub use perf::{write_bench_sweep, SweepTiming};
+pub use perf::{write_bench_cache, write_bench_sweep, CacheTiming, SweepTiming};
 pub use resume::{resumable_sweep, SweepOutcome};
 
 use std::fmt::Write as _;

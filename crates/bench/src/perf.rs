@@ -87,9 +87,110 @@ pub fn write_bench_sweep(
     path
 }
 
+/// One timed pass of the fixed golden-model workload for the cache bench.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheTiming {
+    /// Wall-clock seconds for the whole workload.
+    pub wall_s: f64,
+    /// Cache hit fraction observed during the pass (0 for a cold pass).
+    pub hit_rate: f64,
+}
+
+impl CacheTiming {
+    fn to_value(self, calls: usize) -> Value {
+        #[allow(clippy::cast_precision_loss)]
+        let cps = if self.wall_s > 0.0 {
+            calls as f64 / self.wall_s
+        } else {
+            0.0
+        };
+        Value::Obj(vec![
+            ("wall_s".to_owned(), Value::from(self.wall_s)),
+            ("calls_per_s".to_owned(), Value::from(cps)),
+            ("hit_rate".to_owned(), Value::from(self.hit_rate)),
+        ])
+    }
+}
+
+/// Writes `results/BENCH_cache.json` — the golden-model memoization record
+/// in the same shape as [`write_bench_sweep`]'s: one fixed workload
+/// (`characterize_library` + `mlchar::train` over the default 60-cell
+/// library, `golden_calls` golden queries), timed cold (empty cache) and
+/// warm (fully populated). Returns the path written.
+///
+/// # Panics
+///
+/// Panics if the results directory cannot be created or the file cannot be
+/// written — a perf record that silently fails to persist is worse than a
+/// loud failure in a bench run.
+pub fn write_bench_cache(
+    golden_calls: usize,
+    cache_mode: &str,
+    cold: CacheTiming,
+    warm: CacheTiming,
+) -> PathBuf {
+    let speedup = if warm.wall_s > 0.0 {
+        cold.wall_s / warm.wall_s
+    } else {
+        0.0
+    };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let doc = Value::Obj(vec![
+        ("bench".to_owned(), Value::from("golden_cache")),
+        ("golden_calls".to_owned(), Value::from(golden_calls as u64)),
+        ("cores".to_owned(), Value::from(cores as u64)),
+        ("cache_mode".to_owned(), Value::from(cache_mode)),
+        ("cold".to_owned(), cold.to_value(golden_calls)),
+        ("warm".to_owned(), warm.to_value(golden_calls)),
+        ("speedup".to_owned(), Value::from(speedup)),
+        (
+            "version".to_owned(),
+            Value::from(lori_obs::version_string()),
+        ),
+    ]);
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_cache.json");
+    // Atomic replace, same contract as BENCH_sweep.json.
+    lori_fault::atomic_write(&path, format!("{}\n", doc.to_json()).as_bytes())
+        .expect("write BENCH_cache.json");
+    path
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_cache_record_round_trips() {
+        let dir = std::env::temp_dir().join(format!("lori-perf-cache-{}", std::process::id()));
+        std::env::set_var("LORI_RESULTS_DIR", &dir);
+        let path = write_bench_cache(
+            2160,
+            "mem",
+            CacheTiming {
+                wall_s: 8.0,
+                hit_rate: 0.0,
+            },
+            CacheTiming {
+                wall_s: 0.5,
+                hit_rate: 1.0,
+            },
+        );
+        std::env::remove_var("LORI_RESULTS_DIR");
+        let text = std::fs::read_to_string(&path).expect("record written");
+        let v = Value::parse(&text).expect("valid json");
+        assert_eq!(v.get("bench").and_then(Value::as_str), Some("golden_cache"));
+        assert_eq!(v.get("speedup").and_then(Value::as_f64), Some(16.0));
+        assert_eq!(v.get("cache_mode").and_then(Value::as_str), Some("mem"));
+        let warm = v.get("warm").expect("warm block");
+        assert_eq!(warm.get("hit_rate").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(
+            warm.get("calls_per_s").and_then(Value::as_f64),
+            Some(4320.0)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
 
     #[test]
     fn bench_sweep_record_round_trips() {

@@ -1,0 +1,412 @@
+//! The memoization store: a sharded in-process map plus the optional disk
+//! tier, behind a single `get_or_compute` entry point.
+//!
+//! # Determinism contract
+//!
+//! The store memoizes *pure* functions: the value is fully determined by the
+//! canonical key bytes. Under `lori-par`, two workers may race to compute
+//! the same key; both compute the *same* bytes, so whichever insert lands is
+//! indistinguishable from the other. Results are therefore bit-identical at
+//! any `LORI_THREADS`, and with the cache off, cold, or warm.
+//!
+//! # Collision safety
+//!
+//! The map is keyed by the 64-bit FNV digest, but every entry stores the
+//! full canonical key bytes. On a digest collision with *different* bytes
+//! the store recomputes (and does not overwrite the resident entry), so a
+//! collision costs performance, never correctness.
+
+use crate::disk::{self, ReadOutcome};
+use crate::key::CacheKey;
+use crate::CacheMode;
+use lori_obs::Counter;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+const SHARDS: usize = 64;
+
+/// Values a [`Cache`] can hold: cloneable, and serializable to a canonical
+/// byte form for the disk tier.
+///
+/// `encode`/`decode` must round-trip exactly; floats should be serialized
+/// via `to_bits` so the disk tier is bit-faithful.
+pub trait CachePayload: Clone + Send + Sync + 'static {
+    /// Appends the canonical byte serialization of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Reconstructs a value from `encode`'s output; `None` if malformed.
+    fn decode(bytes: &[u8]) -> Option<Self>;
+}
+
+/// A point-in-time view of one cache's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from memory or disk.
+    pub hits: u64,
+    /// Lookups that fell through to a recompute.
+    pub misses: u64,
+    /// Disk entries rejected by validation (then recomputed).
+    pub corrupt: u64,
+    /// Digest collisions with differing key bytes (recomputed, not stored).
+    pub collisions: u64,
+    /// Payload bytes written to the disk tier.
+    pub bytes: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups; 0 when no lookups were made.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One resident entry: the full canonical key bytes (for collision
+/// detection on lookup) plus the cached value.
+type Entry<V> = (Box<[u8]>, V);
+
+struct Shard<V> {
+    map: RwLock<HashMap<u64, Entry<V>>>,
+}
+
+impl<V> Default for Shard<V> {
+    fn default() -> Self {
+        Shard {
+            map: RwLock::new(HashMap::new()),
+        }
+    }
+}
+
+/// A content-addressed memoization cache for one value type.
+///
+/// Thread-safe: `get_or_compute` takes `&self` and may be called
+/// concurrently from `lori-par` workers.
+pub struct Cache<V> {
+    mode: CacheMode,
+    shards: Vec<Shard<V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+    collisions: AtomicU64,
+    bytes: AtomicU64,
+    // Process-global lori-obs counters, registered eagerly so they appear
+    // (even at zero) in every run manifest that snapshots the registry.
+    obs_hits: Arc<Counter>,
+    obs_misses: Arc<Counter>,
+    obs_corrupt: Arc<Counter>,
+    obs_bytes: Arc<Counter>,
+}
+
+impl<V> std::fmt::Debug for Cache<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cache")
+            .field("mode", &self.mode)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<V> Cache<V> {
+    /// Creates a cache operating in `mode`.
+    #[must_use]
+    pub fn new(mode: CacheMode) -> Self {
+        Cache {
+            mode,
+            shards: (0..SHARDS).map(|_| Shard::default()).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            collisions: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            obs_hits: lori_obs::counter("cache.hits"),
+            obs_misses: lori_obs::counter("cache.misses"),
+            obs_corrupt: lori_obs::counter("cache.corrupt"),
+            obs_bytes: lori_obs::counter("cache.bytes"),
+        }
+    }
+
+    /// The mode this cache was created with.
+    #[must_use]
+    pub fn mode(&self) -> &CacheMode {
+        &self.mode
+    }
+
+    /// This cache's own counters (process-global `cache.*` metrics
+    /// aggregate across all caches; these are per-instance).
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            collisions: self.collisions.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of entries resident in the in-process tier.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.map.read().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// True when no entries are resident in memory.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[allow(clippy::cast_possible_truncation)]
+    fn shard(&self, hash: u64) -> &Shard<V> {
+        // High bits: FNV mixes them well, and low bits pick the disk name.
+        &self.shards[(hash >> 58) as usize % SHARDS]
+    }
+
+    fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.obs_hits.incr(1);
+    }
+
+    fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.obs_misses.incr(1);
+    }
+
+    fn note_corrupt(&self) {
+        self.corrupt.fetch_add(1, Ordering::Relaxed);
+        self.obs_corrupt.incr(1);
+    }
+}
+
+impl<V: CachePayload> Cache<V> {
+    /// Returns the cached value for `key`, computing and storing it on a
+    /// miss. With [`CacheMode::Off`] this is a plain call to `compute`.
+    pub fn get_or_compute(&self, key: &CacheKey, compute: impl FnOnce() -> V) -> V {
+        if matches!(self.mode, CacheMode::Off) {
+            return compute();
+        }
+
+        // Tier 1: in-process map.
+        let shard = self.shard(key.hash());
+        {
+            let map = shard.map.read().expect("cache shard poisoned");
+            if let Some((stored_key, value)) = map.get(&key.hash()) {
+                if stored_key.as_ref() == key.bytes() {
+                    self.record_hit();
+                    return value.clone();
+                }
+                // Digest collision: recompute without touching the entry.
+                drop(map);
+                self.collisions.fetch_add(1, Ordering::Relaxed);
+                self.record_miss();
+                return compute();
+            }
+        }
+
+        // Tier 2: disk.
+        if let CacheMode::Disk(dir) = &self.mode {
+            match disk::read_entry(dir, key) {
+                ReadOutcome::Hit(payload) => {
+                    if let Some(value) = V::decode(&payload) {
+                        self.record_hit();
+                        self.insert_mem(key, value.clone());
+                        return value;
+                    }
+                    // Entry validated but payload would not decode: the
+                    // payload schema changed without a key-version bump.
+                    // Treat as corrupt and recompute.
+                    self.note_corrupt();
+                }
+                ReadOutcome::Corrupt => self.note_corrupt(),
+                ReadOutcome::Miss => {}
+            }
+        }
+
+        self.record_miss();
+        let value = compute();
+        self.insert_mem(key, value.clone());
+        if let CacheMode::Disk(dir) = &self.mode {
+            let mut payload = Vec::new();
+            value.encode(&mut payload);
+            // A failed write only means the entry stays uncached on disk.
+            if let Ok(n) = disk::write_entry(dir, key, &payload) {
+                self.bytes.fetch_add(n as u64, Ordering::Relaxed);
+                self.obs_bytes.incr(n as u64);
+            }
+        }
+        value
+    }
+
+    fn insert_mem(&self, key: &CacheKey, value: V) {
+        let shard = self.shard(key.hash());
+        let mut map = shard.map.write().expect("cache shard poisoned");
+        // Keep the first resident entry on a digest collision; racing
+        // same-key inserts store identical values, so either insert wins.
+        map.entry(key.hash())
+            .or_insert_with(|| (key.bytes().to_vec().into_boxed_slice(), value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeyBuilder;
+    use std::path::PathBuf;
+    use std::sync::atomic::AtomicUsize;
+
+    impl CachePayload for f64 {
+        fn encode(&self, out: &mut Vec<u8>) {
+            out.extend_from_slice(&self.to_bits().to_le_bytes());
+        }
+        fn decode(bytes: &[u8]) -> Option<Self> {
+            let arr: [u8; 8] = bytes.try_into().ok()?;
+            Some(f64::from_bits(u64::from_le_bytes(arr)))
+        }
+    }
+
+    fn key(x: u64) -> CacheKey {
+        let mut b = KeyBuilder::new("store.test", 1);
+        b.push_u64(x);
+        b.finish()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("lori-cache-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn off_mode_always_computes() {
+        let cache: Cache<f64> = Cache::new(CacheMode::Off);
+        let calls = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let v = cache.get_or_compute(&key(1), || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                42.0
+            });
+            assert_eq!(v, 42.0);
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn mem_mode_computes_once() {
+        let cache: Cache<f64> = Cache::new(CacheMode::Mem);
+        let calls = AtomicUsize::new(0);
+        for _ in 0..5 {
+            let v = cache.get_or_compute(&key(7), || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                1.5
+            });
+            assert_eq!(v, 1.5);
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (4, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disk_mode_survives_process_restart() {
+        let dir = tmp_dir("restart");
+        let cold: Cache<f64> = Cache::new(CacheMode::Disk(dir.clone()));
+        assert_eq!(cold.get_or_compute(&key(3), || 2.25), 2.25);
+        assert_eq!(cold.stats().misses, 1);
+        assert!(cold.stats().bytes > 0);
+
+        // A fresh cache over the same directory models a new process.
+        let warm: Cache<f64> = Cache::new(CacheMode::Disk(dir.clone()));
+        let v = warm.get_or_compute(&key(3), || panic!("must hit disk"));
+        assert_eq!(v, 2.25);
+        assert_eq!(warm.stats().hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entry_recomputed_and_repaired() {
+        let dir = tmp_dir("corrupt");
+        let k = key(9);
+        {
+            let c: Cache<f64> = Cache::new(CacheMode::Disk(dir.clone()));
+            c.get_or_compute(&k, || 6.5);
+        }
+        // Damage the entry on disk.
+        let path = crate::disk::entry_path(&dir, k.hash());
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let before = lori_obs::counter("cache.corrupt").get();
+        let c: Cache<f64> = Cache::new(CacheMode::Disk(dir.clone()));
+        let v = c.get_or_compute(&k, || 6.5);
+        assert_eq!(v, 6.5);
+        let s = c.stats();
+        assert_eq!((s.corrupt, s.misses, s.hits), (1, 1, 0));
+        assert_eq!(lori_obs::counter("cache.corrupt").get(), before + 1);
+
+        // The recompute rewrote the entry; a third cache now hits cleanly.
+        let c2: Cache<f64> = Cache::new(CacheMode::Disk(dir.clone()));
+        assert_eq!(c2.get_or_compute(&k, || panic!("must hit")), 6.5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_bump_invalidates_disk_entries() {
+        let dir = tmp_dir("version");
+        let mut b = KeyBuilder::new("store.test", 1);
+        b.push_u64(11);
+        let k_v1 = b.finish();
+        let mut b = KeyBuilder::new("store.test", 2);
+        b.push_u64(11);
+        let k_v2 = b.finish();
+
+        let c: Cache<f64> = Cache::new(CacheMode::Disk(dir.clone()));
+        c.get_or_compute(&k_v1, || 1.0);
+        // Same logical inputs under a bumped version must recompute.
+        let calls = AtomicUsize::new(0);
+        c.get_or_compute(&k_v2, || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            2.0
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_lookups_agree() {
+        let cache: Arc<Cache<f64>> = Arc::new(Cache::new(CacheMode::Mem));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    (0..100u64)
+                        .map(|i| {
+                            #[allow(clippy::cast_precision_loss)]
+                            let expect = (i % 10) as f64 * 0.5;
+                            cache.get_or_compute(&key(i % 10), || expect)
+                        })
+                        .sum::<f64>()
+                })
+            })
+            .collect();
+        let sums: Vec<f64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for s in &sums {
+            assert_eq!(*s, sums[0]);
+        }
+        assert_eq!(cache.len(), 10);
+    }
+}

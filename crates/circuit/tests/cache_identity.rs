@@ -1,0 +1,173 @@
+//! End-to-end cache determinism: characterization and ML training must be
+//! bit-identical with the cache off, cold, or warm, over the memory or the
+//! disk tier, at any worker count. The cache may change wall-clock time
+//! only — never bytes.
+
+use lori_cache::{Cache, CacheMode};
+use lori_circuit::cell::{CellId, CellKind};
+use lori_circuit::characterize::{characterize_library_par, Corner};
+use lori_circuit::mlchar::{MlCharConfig, MlCharacterizer};
+use lori_circuit::spicelike::{ArcTiming, GoldenSimulator, OperatingPoint};
+use lori_circuit::tech::TechParams;
+use lori_par::Parallelism;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn sim_with(mode: CacheMode) -> GoldenSimulator {
+    GoldenSimulator::with_cache(TechParams::default(), Arc::new(Cache::new(mode))).unwrap()
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("lori-cache-identity-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// A small-but-real training config so the test stays fast.
+fn small_ml_config() -> MlCharConfig {
+    MlCharConfig {
+        samples_per_cell: 24,
+        stages: 4,
+        max_depth: 2,
+        ..MlCharConfig::default()
+    }
+}
+
+#[test]
+fn library_identical_off_cold_warm_any_threads() {
+    let corner = Corner::default();
+    let off = sim_with(CacheMode::Off);
+    let cached = sim_with(CacheMode::Mem);
+
+    let baseline = characterize_library_par(&off, &corner, Parallelism::serial()).unwrap();
+    let cold = characterize_library_par(&cached, &corner, Parallelism::serial()).unwrap();
+    assert_eq!(baseline, cold, "cold mem cache changed results");
+    assert!(cached.cache().stats().misses > 0);
+
+    let warm = characterize_library_par(&cached, &corner, Parallelism::serial()).unwrap();
+    assert_eq!(baseline, warm, "warm mem cache changed results");
+    assert!(cached.cache().stats().hits > 0);
+
+    let warm_par = characterize_library_par(&cached, &corner, Parallelism::new(4)).unwrap();
+    assert_eq!(
+        baseline, warm_par,
+        "warm cache at 4 workers changed results"
+    );
+
+    // A fresh cache populated entirely by a 4-worker run must also agree.
+    let cached_par = sim_with(CacheMode::Mem);
+    let cold_par = characterize_library_par(&cached_par, &corner, Parallelism::new(4)).unwrap();
+    assert_eq!(
+        baseline, cold_par,
+        "cold cache at 4 workers changed results"
+    );
+}
+
+#[test]
+fn disk_tier_round_trips_across_simulators() {
+    let dir = tmp_dir("disk");
+    let corner = Corner::default();
+    let baseline =
+        characterize_library_par(&sim_with(CacheMode::Off), &corner, Parallelism::serial())
+            .unwrap();
+
+    // Cold: populates the directory.
+    let cold_sim = sim_with(CacheMode::Disk(dir.clone()));
+    let cold = characterize_library_par(&cold_sim, &corner, Parallelism::serial()).unwrap();
+    assert_eq!(baseline, cold);
+    assert!(
+        cold_sim.cache().stats().bytes > 0,
+        "disk tier wrote nothing"
+    );
+
+    // Warm, new simulator + new cache over the same directory: models a
+    // process restart. Every golden call must be served from disk.
+    let warm_sim = sim_with(CacheMode::Disk(dir.clone()));
+    let warm = characterize_library_par(&warm_sim, &corner, Parallelism::new(4)).unwrap();
+    assert_eq!(baseline, warm, "disk-warm results differ");
+    let stats = warm_sim.cache().stats();
+    assert_eq!(stats.misses, 0, "warm run missed: {stats:?}");
+    assert!(stats.hits > 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_disk_entry_recomputed_not_trusted() {
+    let dir = tmp_dir("corrupt");
+    let corner = Corner::default();
+    let cold_sim = sim_with(CacheMode::Disk(dir.clone()));
+    let baseline = characterize_library_par(&cold_sim, &corner, Parallelism::serial()).unwrap();
+
+    // Damage one entry and truncate another.
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    entries.sort();
+    assert!(entries.len() >= 2, "expected many disk entries");
+    let mut bytes = std::fs::read(&entries[0]).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&entries[0], &bytes).unwrap();
+    let bytes = std::fs::read(&entries[1]).unwrap();
+    std::fs::write(&entries[1], &bytes[..10]).unwrap();
+
+    let warm_sim = sim_with(CacheMode::Disk(dir.clone()));
+    let warm = characterize_library_par(&warm_sim, &corner, Parallelism::serial()).unwrap();
+    assert_eq!(baseline, warm, "corrupt entries leaked into results");
+    let stats = warm_sim.cache().stats();
+    assert_eq!(stats.corrupt, 2, "both damaged entries must be detected");
+    assert_eq!(stats.misses, 2, "damaged entries must be recomputed");
+
+    // The recompute healed the files: a third pass is all hits.
+    let healed_sim = sim_with(CacheMode::Disk(dir.clone()));
+    let healed = characterize_library_par(&healed_sim, &corner, Parallelism::serial()).unwrap();
+    assert_eq!(baseline, healed);
+    assert_eq!(healed_sim.cache().stats().corrupt, 0);
+    assert_eq!(healed_sim.cache().stats().misses, 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ml_training_identical_with_and_without_cache() {
+    let corner = Corner::default();
+    let cfg = small_ml_config();
+
+    let off = sim_with(CacheMode::Off);
+    let lib = characterize_library_par(&off, &corner, Parallelism::serial()).unwrap();
+    let cells: Vec<CellId> = lib.iter().map(|(id, _)| id).collect();
+    let baseline =
+        MlCharacterizer::train_with(&off, &lib, &cells, &cfg, Parallelism::serial()).unwrap();
+
+    let cached = sim_with(CacheMode::Mem);
+    let lib_c = characterize_library_par(&cached, &corner, Parallelism::serial()).unwrap();
+    assert_eq!(lib, lib_c);
+    let cold =
+        MlCharacterizer::train_with(&cached, &lib_c, &cells, &cfg, Parallelism::serial()).unwrap();
+    assert_eq!(baseline, cold, "cold-cache training diverged");
+    let warm =
+        MlCharacterizer::train_with(&cached, &lib_c, &cells, &cfg, Parallelism::new(4)).unwrap();
+    assert_eq!(baseline, warm, "warm-cache 4-worker training diverged");
+    assert!(cached.cache().stats().hits > 0);
+}
+
+#[test]
+fn shared_default_cache_is_transparent() {
+    // Simulators from `new` share the process-global cache; their results
+    // must equal a private cache-off simulator's bit for bit.
+    let s = GoldenSimulator::new(TechParams::default()).unwrap();
+    let off = sim_with(CacheMode::Off);
+    let op = OperatingPoint {
+        slew_ps: 33.0,
+        load_ff: 3.3,
+        temperature: lori_core::units::Celsius(71.0),
+        delta_vth: lori_core::units::Volts(0.02),
+    };
+    let a: ArcTiming = s.characterize(CellKind::Oai21, 2.0, &op);
+    let b = s.characterize(CellKind::Oai21, 2.0, &op);
+    let c = off.characterize(CellKind::Oai21, 2.0, &op);
+    assert_eq!(a, b);
+    assert_eq!(a, c);
+}

@@ -189,6 +189,13 @@ impl DeadlineTracker {
     pub fn slack(&self, system: &MitigationSystem) -> f64 {
         self.cum_budget * system.max_speedup - self.cum_actual
     }
+
+    /// Returns the tracker to its initial state, so hot loops can reuse one
+    /// allocation across Monte Carlo runs instead of rebuilding a fresh
+    /// tracker per run.
+    pub fn reset(&mut self) {
+        *self = DeadlineTracker::default();
+    }
 }
 
 #[cfg(test)]

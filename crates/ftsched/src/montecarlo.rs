@@ -228,11 +228,16 @@ pub fn run_point(
     let mut segments_total = 0u64;
     let mut cycles_actual = 0.0f64;
     let mut cycles_fault_free = 0.0f64;
+    // One tracker per algorithm, allocated once and reset per run: this
+    // loop body executes `runs × |trace|` times per sweep point.
+    let mut trackers: Vec<_> = systems.iter().map(MitigationSystem::tracker).collect();
     for run in 0..config.runs {
         #[allow(clippy::cast_possible_truncation)]
         let mut rng = point_rng.split(run as u64);
         let mut run_rollbacks = 0u64;
-        let mut trackers: Vec<_> = systems.iter().map(MitigationSystem::tracker).collect();
+        for t in &mut trackers {
+            t.reset();
+        }
         for &work in trace {
             let ex = config
                 .checkpoints
@@ -298,7 +303,8 @@ pub fn run_point(
 /// 1e-4.
 #[must_use]
 pub fn paper_probability_axis() -> Vec<f64> {
-    let mut v = Vec::new();
+    // 4 decades × 3 mantissas + the closing 1e-4 endpoint.
+    let mut v = Vec::with_capacity(13);
     for exp in -8..=-5 {
         for mantissa in [1.0, 2.0, 5.0] {
             v.push(mantissa * 10f64.powi(exp));

@@ -220,8 +220,23 @@ impl RecordEncoder {
     /// Panics if `x.len()` differs from [`RecordEncoder::n_features`].
     #[must_use]
     pub fn encode(&self, x: &[f64]) -> BinaryHv {
-        assert_eq!(x.len(), self.ids.len(), "feature count mismatch");
         let mut acc = BundleAccumulator::new(self.dim());
+        self.encode_into(x, &mut acc)
+    }
+
+    /// Encodes one feature row into a caller-supplied scratch accumulator
+    /// (reset on entry), so hot batch loops reuse one allocation per chunk
+    /// instead of one per row. Output is identical to
+    /// [`RecordEncoder::encode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from [`RecordEncoder::n_features`] or on
+    /// accumulator dimension mismatch.
+    #[must_use]
+    pub fn encode_into(&self, x: &[f64], acc: &mut BundleAccumulator) -> BinaryHv {
+        assert_eq!(x.len(), self.ids.len(), "feature count mismatch");
+        acc.reset();
         for ((id, lvl), &v) in self.ids.iter().zip(&self.levels).zip(x) {
             acc.add(&id.bind(lvl.encode(v)));
         }
@@ -231,7 +246,7 @@ impl RecordEncoder {
         // here: downstream similarity queries tolerate flipped bits, which
         // exp-hdc-robustness quantifies.
         if let Some(bit) = lori_fault::flip_bit("hdc.encoder", hv.dim()) {
-            hv.set_bit(bit, !hv.bit(bit));
+            hv.flip_bit(bit);
         }
         hv
     }
@@ -248,7 +263,12 @@ impl RecordEncoder {
     #[must_use]
     pub fn encode_batch(&self, rows: &[Vec<f64>], par: Parallelism) -> Vec<BinaryHv> {
         let chunks = lori_par::par_chunks(par, rows, ENCODE_CHUNK, |_, chunk| {
-            chunk.iter().map(|row| self.encode(row)).collect::<Vec<_>>()
+            // One scratch accumulator per chunk, reset per row.
+            let mut acc = BundleAccumulator::new(self.dim());
+            chunk
+                .iter()
+                .map(|row| self.encode_into(row, &mut acc))
+                .collect::<Vec<_>>()
         });
         chunks.into_iter().flatten().collect()
     }
@@ -348,6 +368,17 @@ mod tests {
             assert_eq!(batch, expected, "worker count {workers}");
         }
         assert!(enc.encode_batch(&[], Parallelism::new(4)).is_empty());
+    }
+
+    #[test]
+    fn encode_into_reused_accumulator_matches_encode() {
+        let enc = RecordEncoder::new(DIM, &[(0.0, 1.0), (-2.0, 2.0)], 12, 5).unwrap();
+        let mut rng = Rng::from_seed(33);
+        let mut acc = BundleAccumulator::new(enc.dim());
+        for _ in 0..20 {
+            let row = vec![rng.uniform(), rng.uniform_in(-2.0, 2.0)];
+            assert_eq!(enc.encode_into(&row, &mut acc), enc.encode(&row));
+        }
     }
 
     #[test]

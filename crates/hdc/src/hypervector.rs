@@ -87,6 +87,24 @@ impl BinaryHv {
         }
     }
 
+    /// Toggles the component at `i` with a single XOR on its word — the
+    /// in-place fast path for noise injection and fault flips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= dim`.
+    pub fn flip_bit(&mut self, i: usize) {
+        assert!(i < self.dim, "component index out of range");
+        self.words[i / 64] ^= 1u64 << (i % 64);
+    }
+
+    /// Mutable access to the packed words, for crate-internal bulk bit
+    /// operations. Callers must not set bits at or above `dim` in the last
+    /// word (the tail is kept zero as an invariant).
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
     /// XOR binding: associates two hypervectors. Self-inverse:
     /// `a.bind(b).bind(b) == a`.
     ///
@@ -225,6 +243,13 @@ impl BundleAccumulator {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.n == 0
+    }
+
+    /// Empties the accumulator in place, keeping its allocation, so batch
+    /// encoders can reuse one scratch accumulator across rows.
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.n = 0;
     }
 
     /// Majority-vote readout. Zero counts (ties) take the corresponding bit

@@ -16,12 +16,21 @@ use lori_core::Rng;
 #[must_use]
 pub fn flip_components(hv: &BinaryHv, error_rate: f64, rng: &mut Rng) -> BinaryHv {
     let p = error_rate.clamp(0.0, 1.0);
+    let dim = hv.dim();
     let mut out = hv.clone();
-    for i in 0..hv.dim() {
-        if rng.bernoulli(p) {
-            let b = out.bit(i);
-            out.set_bit(i, !b);
+    // Draw one Bernoulli per component in ascending index order — the same
+    // RNG stream a per-bit loop would consume — but accumulate the flips
+    // into a per-word mask applied with a single XOR on the packed
+    // representation.
+    for (w, word) in out.words_mut().iter_mut().enumerate() {
+        let bits = 64.min(dim - w * 64);
+        let mut mask = 0u64;
+        for b in 0..bits {
+            if rng.bernoulli(p) {
+                mask |= 1u64 << b;
+            }
         }
+        *word ^= mask;
     }
     out
 }
@@ -36,8 +45,7 @@ pub fn flip_exact(hv: &BinaryHv, count: usize, rng: &mut Rng) -> BinaryHv {
     assert!(count <= hv.dim(), "cannot flip more components than exist");
     let mut out = hv.clone();
     for i in rng.sample_indices(hv.dim(), count) {
-        let b = out.bit(i);
-        out.set_bit(i, !b);
+        out.flip_bit(i);
     }
     out
 }
@@ -79,6 +87,28 @@ mod tests {
         let noisy = flip_components(&hv, 0.3, &mut rng);
         let s = hv.similarity(&noisy);
         assert!((s - 0.7).abs() < 0.03, "similarity {s}");
+    }
+
+    #[test]
+    fn word_mask_flip_matches_per_bit_reference() {
+        // Guards the RNG draw order: the word-mask fast path must consume
+        // the Bernoulli stream exactly like a naive per-bit loop, including
+        // over a partial tail word (1000 % 64 != 0).
+        let mut seed_rng = Rng::from_seed(77);
+        let hv = BinaryHv::random(1000, &mut seed_rng);
+        let mut rng_fast = Rng::from_seed(123);
+        let mut rng_ref = Rng::from_seed(123);
+        let fast = flip_components(&hv, 0.25, &mut rng_fast);
+        let mut reference = hv.clone();
+        for i in 0..hv.dim() {
+            if rng_ref.bernoulli(0.25) {
+                let b = reference.bit(i);
+                reference.set_bit(i, !b);
+            }
+        }
+        assert_eq!(fast, reference);
+        // And the two RNGs must end in the same position.
+        assert_eq!(rng_fast.next_u64(), rng_ref.next_u64());
     }
 
     #[test]
