@@ -12,10 +12,18 @@
 //!
 //! Acceptance target: the NullRecorder configurations regress < 2 % vs
 //! the baseline — i.e. their medians are statistically indistinguishable.
+//!
+//! A second group, `jsonl_recorder`, measures the [`lori_obs::JsonlRecorder`]
+//! write paths against each other: the pre-PR5 behaviour (every event locks
+//! the shared writer) vs the per-thread buffered fast path, at 1 and 4
+//! recording threads. Acceptance target: buffered is no slower at 1 thread
+//! and faster at 4 (where the unbuffered path serializes all workers on one
+//! mutex).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lori_ftsched::montecarlo::{sweep, SweepConfig};
 use lori_ftsched::workload::adpcm_reference_trace;
+use lori_obs::{Event, JsonlRecorder, Recorder};
 use std::sync::Arc;
 
 fn sweep_once() {
@@ -55,5 +63,69 @@ fn bench_obs_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_obs_overhead);
+/// Span enter/exit pairs each recording thread emits per iteration —
+/// enough to dominate recorder construction and thread spawning.
+const SPAN_PAIRS_PER_THREAD: u64 = 2000;
+
+/// Records a deep-nesting-shaped event stream (alternating enter/exit),
+/// the pattern parallel Monte Carlo points produce.
+fn record_span_pairs(rec: &JsonlRecorder, tid: u64) {
+    for i in 0..SPAN_PAIRS_PER_THREAD {
+        rec.record(&Event::SpanEnter {
+            name: "bench.point",
+            t_ns: i * 2,
+            tid,
+            depth: 0,
+            attr: Some(1e-6),
+        });
+        rec.record(&Event::SpanExit {
+            name: "bench.point",
+            t_ns: i * 2 + 1,
+            tid,
+            depth: 0,
+            dur_ns: 1,
+        });
+    }
+}
+
+/// One full pass: `threads` workers each push their pairs through `rec`,
+/// then the recorder flushes. The sink is `/dev/null` so the comparison
+/// isolates serialization + locking, not disk throughput.
+fn jsonl_pass(threads: u64, buffered: bool) {
+    let rec = JsonlRecorder::create("/dev/null").expect("open /dev/null");
+    let rec = if buffered { rec } else { rec.unbuffered() };
+    let rec = Arc::new(rec);
+    if threads <= 1 {
+        record_span_pairs(&rec, 0);
+    } else {
+        let workers: Vec<_> = (0..threads)
+            .map(|tid| {
+                let rec = Arc::clone(&rec);
+                std::thread::spawn(move || record_span_pairs(&rec, tid))
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("recording worker");
+        }
+    }
+    rec.flush();
+}
+
+fn bench_jsonl_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jsonl_recorder");
+    for &threads in &[1u64, 4] {
+        for buffered in [false, true] {
+            let label = format!(
+                "{threads}t_{}",
+                if buffered { "buffered" } else { "unbuffered" }
+            );
+            group.bench_with_input(BenchmarkId::new("record", label), &(), |b, ()| {
+                b.iter(|| jsonl_pass(threads, buffered));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead, bench_jsonl_paths);
 criterion_main!(benches);

@@ -7,10 +7,12 @@
 
 pub mod harness;
 pub mod perf;
+pub mod progress;
 pub mod resume;
 
 pub use harness::Harness;
 pub use perf::{write_bench_cache, write_bench_sweep, CacheTiming, SweepTiming};
+pub use progress::Progress;
 pub use resume::{resumable_sweep, SweepOutcome};
 
 use std::fmt::Write as _;

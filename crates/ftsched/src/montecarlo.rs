@@ -183,11 +183,82 @@ pub fn point_tasks(
         .collect()
 }
 
+/// Largest number of rollbacks of each trace segment that any of the four
+/// budget algorithms could actually *execute* before every deadline in the
+/// run — including all slack conceivably carried over — has irrevocably
+/// passed.
+///
+/// [`CheckpointSystem::execute_segment`] samples the rollback count from
+/// the unbounded geometric of Eq. (2) analytically; it never executes the
+/// recoveries (its cycle math saturates for exactly that reason). At the
+/// top of the Fig. 5 axis the sampled count for a 270k-cycle segment is
+/// ~5·10¹¹, so charging raw samples to the `ftsched.rollbacks` counter
+/// claimed hundreds of trillions of "simulated" rollbacks per sweep — a
+/// physical impossibility for a millisecond run, and the corrupt value PR 5
+/// found checked into `results/exp-fig5.manifest.json`. The counter's
+/// contract is "recovery events the simulated system processed", and a
+/// deadline-scheduled system stops observing a segment's recoveries once
+/// even the most generous cumulative budget (Σ budgets × max speed-up) is
+/// exhausted, so per-segment counts are clamped to that horizon (+1 for
+/// the rollback that overruns it).
+///
+/// Returned per segment of `trace`, aligned by index. Fig. 5's
+/// `avg_rollbacks_per_segment` statistics intentionally keep the raw
+/// samples — the figure reports Eq. (2)'s expectation, not executed work.
+#[must_use]
+pub fn observable_rollback_caps(trace: &[Cycles], config: &SweepConfig) -> Vec<u64> {
+    // The most generous whole-run cycle capacity any algorithm can grant:
+    // cumulative budget at maximum processor speed.
+    let wcet_work = trace.iter().copied().max().unwrap_or(Cycles(0));
+    let run_capacity = BudgetAlgorithm::ALL
+        .iter()
+        .map(|&alg| {
+            let sys = MitigationSystem {
+                algorithm: alg,
+                ..config.mitigation
+            };
+            trace
+                .iter()
+                .map(|&work| {
+                    sys.budget(
+                        config.checkpoints.fault_free_cycles(work),
+                        config.checkpoints.fault_free_cycles(wcet_work),
+                    )
+                    .as_f64()
+                })
+                .sum::<f64>()
+                * sys.max_speedup
+        })
+        .fold(0.0f64, f64::max);
+    trace
+        .iter()
+        .map(|&work| {
+            // Each rollback of this segment re-runs one chunk window and
+            // pays the rollback routine; more than capacity/per_rollback of
+            // them cannot fit before the run's final deadline.
+            let chunk =
+                (work.value() / u64::from(config.checkpoints.checkpoints_per_segment)).max(1);
+            let per_rollback = Cycles(
+                chunk
+                    + config.checkpoints.checkpoint_cycles.value()
+                    + config.checkpoints.rollback_cycles.value(),
+            )
+            .as_f64();
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let cap = (run_capacity / per_rollback).floor() as u64;
+            cap.saturating_add(1)
+        })
+        .collect()
+}
+
 /// Runs one probability point to completion. Self-contained: every
 /// floating-point accumulation stays inside this call, and the
 /// `ftsched.rollbacks` / `ftsched.deadline_misses` counters are merged
 /// with one atomic increment per point, so metric totals are exact no
-/// matter how points interleave across workers.
+/// matter how points interleave across workers. The rollbacks counter
+/// records *deadline-observable* rollbacks (see
+/// [`observable_rollback_caps`]); the returned [`SweepPoint`] statistics
+/// keep the raw Eq. (2) samples.
 ///
 /// This is also a fault-injection site: `panic@sweep.point:<index>` panics
 /// when this task's index matches, and `nan@sweep.point` poisons the
@@ -221,6 +292,7 @@ pub fn run_point(
         .map(|&work| config.checkpoints.fault_free_cycles(work).as_f64())
         .sum();
 
+    let rollback_caps = observable_rollback_caps(trace, config);
     let mut point_rng = task.rng.clone();
     let mut rollback_runs = Running::new();
     let mut point_rollbacks = 0u64;
@@ -235,14 +307,16 @@ pub fn run_point(
         #[allow(clippy::cast_possible_truncation)]
         let mut rng = point_rng.split(run as u64);
         let mut run_rollbacks = 0u64;
+        let mut run_observable = 0u64;
         for t in &mut trackers {
             t.reset();
         }
-        for &work in trace {
+        for (&work, &cap) in trace.iter().zip(&rollback_caps) {
             let ex = config
                 .checkpoints
                 .execute_segment(work, &task.errors, &mut rng);
             run_rollbacks = run_rollbacks.saturating_add(ex.rollbacks);
+            run_observable = run_observable.saturating_add(ex.rollbacks.min(cap));
             segments_total += 1;
             cycles_actual += ex.total_cycles.as_f64();
             for ((s, t), h) in systems.iter().zip(&mut trackers).zip(&mut hits) {
@@ -252,7 +326,7 @@ pub fn run_point(
             }
         }
         cycles_fault_free += fault_free_run_total;
-        point_rollbacks = point_rollbacks.saturating_add(run_rollbacks);
+        point_rollbacks = point_rollbacks.saturating_add(run_observable);
         #[allow(clippy::cast_precision_loss)]
         rollback_runs.push(run_rollbacks as f64 / trace.len() as f64);
     }

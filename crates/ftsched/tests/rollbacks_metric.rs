@@ -1,0 +1,84 @@
+//! Regression test for the corrupt `ftsched.rollbacks` metric.
+//!
+//! Before PR 5 the counter charged the raw geometric rollback samples of
+//! Eq. (2), which are unbounded: at the top of the Fig. 5 axis a single
+//! 270k-cycle segment samples ~5·10¹¹ rollbacks, so a 1,300-run sweep
+//! "executed" 368,266,406,769,412 rollbacks in under 8 ms of wall time —
+//! the impossible value that was checked into
+//! `results/exp-fig5.manifest.json`. The counter now records
+//! *deadline-observable* rollbacks, clamped per segment to the run's most
+//! generous cumulative budget horizon
+//! (`montecarlo::observable_rollback_caps`).
+//!
+//! This lives in its own integration-test binary so the process-global
+//! metric registry is not shared with unrelated tests running sweeps.
+
+use lori_ftsched::montecarlo::{observable_rollback_caps, sweep, SweepConfig};
+use lori_ftsched::workload::adpcm_reference_trace;
+
+#[test]
+fn rollbacks_counter_stays_physically_plausible() {
+    let trace = adpcm_reference_trace();
+    let config = SweepConfig {
+        runs: 20,
+        ..SweepConfig::paper()
+    };
+    let axis = [1e-6, 1e-5, 1e-4];
+    let before = lori_obs::counter("ftsched.rollbacks").get();
+    let points = sweep(&axis, &trace, &config).expect("sweep");
+    let counted = lori_obs::counter("ftsched.rollbacks").get() - before;
+
+    // Fig. 5's statistics keep the raw Eq. (2) samples: at p = 1e-4 the
+    // average is astronomical by design (the paper's "formidable" regime).
+    assert!(
+        points.last().expect("points").avg_rollbacks_per_segment > 1e6,
+        "raw Fig. 5 averages must stay unclamped"
+    );
+
+    // The executed-rollback metric, in contrast, is bounded by the
+    // deadline horizon: per run no segment can contribute more than its
+    // observable cap.
+    let caps = observable_rollback_caps(&trace, &config);
+    let per_run: u64 = caps.iter().sum();
+    let ceiling = per_run * config.runs as u64 * axis.len() as u64;
+    assert!(counted > 0, "some rollbacks are genuinely observed");
+    assert!(
+        counted <= ceiling,
+        "counter {counted} exceeds the deadline-observable ceiling {ceiling}"
+    );
+    // Order-of-magnitude pin: the ceiling itself must be sane — a 60-run
+    // sweep observes at most ~1e6 rollbacks, thirteen orders of magnitude
+    // below the corrupt value this test regresses.
+    assert!(
+        ceiling < 10_000_000,
+        "observable ceiling implausibly large: {ceiling}"
+    );
+}
+
+#[test]
+fn observable_caps_are_per_segment_sane() {
+    let trace = adpcm_reference_trace();
+    let config = SweepConfig::paper();
+    let caps = observable_rollback_caps(&trace, &config);
+    assert_eq!(caps.len(), trace.len());
+    for (&work, &cap) in trace.iter().zip(&caps) {
+        assert!(cap >= 1, "every segment can observe its failing rollback");
+        assert!(
+            cap < 100_000,
+            "segment of {} cycles caps at {cap} — implausibly many",
+            work.value()
+        );
+    }
+    // Bigger segments absorb fewer rollbacks within the same horizon.
+    let max_work = trace.iter().max().expect("non-empty");
+    let min_work = trace.iter().min().expect("non-empty");
+    let cap_at = |w| {
+        trace
+            .iter()
+            .zip(&caps)
+            .find(|(&work, _)| work == w)
+            .map(|(_, &c)| c)
+            .expect("present")
+    };
+    assert!(cap_at(*max_work) <= cap_at(*min_work));
+}

@@ -158,8 +158,10 @@ impl From<String> for Value {
     }
 }
 
-/// Writes a number; non-finite values become `null`.
-fn write_num(n: f64, out: &mut String) {
+/// Writes a number; non-finite values become `null`. Shared with the
+/// event recorder's direct serializer so event lines are byte-identical
+/// whether built through [`Value`] or streamed.
+pub(crate) fn write_num(n: f64, out: &mut String) {
     if !n.is_finite() {
         out.push_str("null");
     } else if n == n.trunc() && n.abs() < 9.0e15 {
@@ -170,8 +172,9 @@ fn write_num(n: f64, out: &mut String) {
     }
 }
 
-/// Writes a quoted, escaped JSON string.
-fn write_str(s: &str, out: &mut String) {
+/// Writes a quoted, escaped JSON string. Shared with the event recorder's
+/// direct serializer.
+pub(crate) fn write_str(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -207,7 +210,7 @@ fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
 fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
-        None => Err("unexpected end of input".to_owned()),
+        None => Err(format!("unexpected end of input at byte {pos}")),
         Some(b'n') => parse_lit(bytes, pos, "null", Value::Null),
         Some(b't') => parse_lit(bytes, pos, "true", Value::Bool(true)),
         Some(b'f') => parse_lit(bytes, pos, "false", Value::Bool(false)),
@@ -277,7 +280,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     let mut out = String::new();
     loop {
         match bytes.get(*pos) {
-            None => return Err("unterminated string".to_owned()),
+            None => return Err(format!("unterminated string at byte {pos}")),
             Some(b'"') => {
                 *pos += 1;
                 return Ok(out);
@@ -296,15 +299,22 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'u') => {
                         let hex = bytes
                             .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
-                        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
-                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            .ok_or_else(|| format!("truncated \\u escape at byte {pos}"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
                         out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         *pos += 4;
                     }
                     _ => return Err(format!("bad escape at byte {pos}")),
                 }
                 *pos += 1;
+            }
+            // Raw control characters are invalid in JSON strings, and a raw
+            // newline would silently split a JSONL event line — reject both.
+            Some(&b) if b < 0x20 => {
+                return Err(format!("unescaped control character at byte {pos}"));
             }
             Some(_) => {
                 // Consume one UTF-8 scalar (input is a &str, so this is safe).
@@ -325,9 +335,15 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
         *pos += 1;
     }
     let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
-    text.parse::<f64>()
-        .map(Value::Num)
-        .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+    let n: f64 = text
+        .parse()
+        .map_err(|_| format!("invalid number '{text}' at byte {start}"))?;
+    // JSON has no NaN or infinity; `str::parse` would happily accept
+    // "1e999" as +inf, which must not round-trip into artifacts.
+    if !n.is_finite() {
+        return Err(format!("non-finite number '{text}' at byte {start}"));
+    }
+    Ok(Value::Num(n))
 }
 
 #[cfg(test)]

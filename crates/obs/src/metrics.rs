@@ -456,6 +456,33 @@ mod tests {
     }
 
     #[test]
+    fn histogram_quantile_single_observation_and_extreme_q() {
+        let h = Histogram::new(&[0.0, 1.0, 2.0]);
+        assert!(h.quantile(0.0).is_none(), "q=0 on empty is still None");
+        assert!(h.quantile(1.0).is_none(), "q=1 on empty is still None");
+
+        h.observe(0.5); // single observation in the first interior bucket
+        assert_eq!(h.quantile(0.0), Some(0.0), "q=0 is the bucket's low edge");
+        assert_eq!(h.quantile(0.5), Some(0.5), "q=0.5 interpolates mid-bucket");
+        assert_eq!(h.quantile(1.0), Some(1.0), "q=1 is the bucket's high edge");
+
+        // With everything beyond the last edge, every quantile is the last
+        // edge — the histogram cannot resolve past its range.
+        let h2 = Histogram::new(&[0.0, 1.0]);
+        h2.observe(1e9);
+        assert_eq!(h2.quantile(0.0), Some(1.0));
+        assert_eq!(h2.quantile(1.0), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0, 1]")]
+    fn histogram_quantile_rejects_out_of_range_q() {
+        let h = Histogram::new(&[0.0, 1.0]);
+        h.observe(0.5);
+        let _ = h.quantile(1.5);
+    }
+
+    #[test]
     fn log_edges_shape() {
         let e = Histogram::log_edges(1.0, 1000.0, 3);
         assert!((e[0] - 1.0).abs() < 1e-12);

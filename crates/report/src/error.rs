@@ -1,0 +1,159 @@
+//! Typed analysis errors. Every structural defect in an event stream is a
+//! variant carrying the 1-based line number it was detected on — the
+//! parser is a validator, not a best-effort scraper, and a malformed
+//! stream must fail loudly with a pointer into the file.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Everything that can go wrong while analyzing run artifacts.
+#[derive(Debug)]
+pub enum ReportError {
+    /// Reading an artifact failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// An event line is not valid JSON.
+    Json {
+        /// 1-based line number in the events file.
+        line: usize,
+        /// Parser message (includes a byte offset within the line).
+        msg: String,
+    },
+    /// An event line parses but lacks a required member.
+    MissingField {
+        /// 1-based line number.
+        line: usize,
+        /// The absent member.
+        field: &'static str,
+    },
+    /// An event line has an `ev` tag the analyzer does not know.
+    UnknownEvent {
+        /// 1-based line number.
+        line: usize,
+        /// The unrecognized tag.
+        ev: String,
+    },
+    /// A span exit arrived with no matching enter on its thread's stack.
+    UnbalancedExit {
+        /// 1-based line number.
+        line: usize,
+        /// Thread index of the event.
+        tid: u64,
+        /// The exiting span's name.
+        name: String,
+        /// The name actually on top of the stack, if any.
+        open: Option<String>,
+    },
+    /// An event's recorded depth disagrees with the reconstructed stack.
+    DepthMismatch {
+        /// 1-based line number.
+        line: usize,
+        /// Thread index of the event.
+        tid: u64,
+        /// Depth implied by the reconstructed stack.
+        expected: u64,
+        /// Depth recorded in the event.
+        found: u64,
+    },
+    /// Timestamps ran backwards within one thread's stream.
+    NonMonotonic {
+        /// 1-based line number.
+        line: usize,
+        /// Thread index of the event.
+        tid: u64,
+        /// The previous timestamp on this thread.
+        prev_ns: u64,
+        /// The offending timestamp.
+        now_ns: u64,
+    },
+    /// The stream ended with spans still open.
+    UnclosedSpan {
+        /// Thread index owning the dangling span.
+        tid: u64,
+        /// The dangling span's name.
+        name: String,
+        /// 1-based line its enter event was read from.
+        opened_line: usize,
+    },
+    /// A manifest or BENCH record is structurally unusable.
+    Malformed {
+        /// The file involved.
+        path: PathBuf,
+        /// What was wrong.
+        msg: String,
+    },
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::Io { path, source } => {
+                write!(f, "cannot read {}: {source}", path.display())
+            }
+            ReportError::Json { line, msg } => write!(f, "line {line}: invalid JSON: {msg}"),
+            ReportError::MissingField { line, field } => {
+                write!(f, "line {line}: event is missing '{field}'")
+            }
+            ReportError::UnknownEvent { line, ev } => {
+                write!(f, "line {line}: unknown event kind '{ev}'")
+            }
+            ReportError::UnbalancedExit {
+                line,
+                tid,
+                name,
+                open,
+            } => match open {
+                Some(open) => write!(
+                    f,
+                    "line {line}: tid {tid} exits '{name}' but '{open}' is open"
+                ),
+                None => write!(
+                    f,
+                    "line {line}: tid {tid} exits '{name}' with no span open"
+                ),
+            },
+            ReportError::DepthMismatch {
+                line,
+                tid,
+                expected,
+                found,
+            } => write!(
+                f,
+                "line {line}: tid {tid} depth discontinuity: stack says {expected}, event says {found}"
+            ),
+            ReportError::NonMonotonic {
+                line,
+                tid,
+                prev_ns,
+                now_ns,
+            } => write!(
+                f,
+                "line {line}: tid {tid} time ran backwards: {prev_ns} -> {now_ns}"
+            ),
+            ReportError::UnclosedSpan {
+                tid,
+                name,
+                opened_line,
+            } => write!(
+                f,
+                "stream ended with '{name}' (tid {tid}, opened line {opened_line}) still open"
+            ),
+            ReportError::Malformed { path, msg } => {
+                write!(f, "{}: {msg}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReportError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

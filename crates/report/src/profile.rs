@@ -1,0 +1,715 @@
+//! Span-tree reconstruction and profiling over `.events.jsonl` streams.
+//!
+//! The parser is a *validator*: an event stream produced by `lori-obs` has
+//! strong structural invariants (per-thread LIFO nesting, depths that track
+//! the stack, monotonic per-thread timestamps), and any violation means the
+//! run or the recorder is broken — so every violation is a typed
+//! [`ReportError`] carrying the offending 1-based line number, never a
+//! panic or a silently skipped line.
+//!
+//! Output is deterministic: profiling the same events file twice yields
+//! byte-identical `.profile.json` and `.folded` artifacts. All aggregation
+//! uses `BTreeMap`s and insertion-ordered JSON objects; nothing depends on
+//! wall clocks, hashing, or iteration order.
+
+use crate::error::ReportError;
+use lori_obs::{Histogram, Value};
+use std::collections::BTreeMap;
+
+/// One completed span with its completed children.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Span name.
+    pub name: String,
+    /// Thread index that ran it.
+    pub tid: u64,
+    /// Nesting depth on that thread (0 = root).
+    pub depth: u64,
+    /// Enter timestamp (ns since the run's obs epoch).
+    pub t0_ns: u64,
+    /// Wall duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Completed child spans, in execution order.
+    pub children: Vec<SpanNode>,
+    /// 1-based line the enter event was read from.
+    pub line: usize,
+}
+
+impl SpanNode {
+    /// Duration minus the duration of direct children (clamped at zero:
+    /// clock granularity can make children sum slightly past the parent).
+    #[must_use]
+    pub fn self_ns(&self) -> u64 {
+        let children: u64 = self.children.iter().map(|c| c.dur_ns).sum();
+        self.dur_ns.saturating_sub(children)
+    }
+}
+
+/// A fully parsed and validated event stream.
+#[derive(Debug)]
+pub struct ParsedEvents {
+    /// Total event lines.
+    pub events: usize,
+    /// Gauge events among them.
+    pub gauges: usize,
+    /// Completed root spans (depth 0) across all threads, in stream order.
+    pub roots: Vec<SpanNode>,
+    /// Distinct thread indices seen.
+    pub threads: usize,
+    /// Earliest timestamp in the stream.
+    pub first_ns: u64,
+    /// Latest timestamp in the stream (exit times included).
+    pub last_ns: u64,
+}
+
+impl ParsedEvents {
+    /// Stream extent in nanoseconds.
+    #[must_use]
+    pub fn wall_ns(&self) -> u64 {
+        self.last_ns.saturating_sub(self.first_ns)
+    }
+}
+
+/// An open span on a thread's reconstruction stack.
+struct OpenSpan {
+    name: String,
+    depth: u64,
+    t0_ns: u64,
+    line: usize,
+    children: Vec<SpanNode>,
+}
+
+/// Per-thread reconstruction state.
+#[derive(Default)]
+struct ThreadState {
+    stack: Vec<OpenSpan>,
+    last_ns: Option<u64>,
+}
+
+/// Parses and validates a `.events.jsonl` stream.
+///
+/// # Errors
+///
+/// Returns the first structural defect found, with its 1-based line
+/// number: invalid JSON, missing fields, unknown event kinds, unbalanced
+/// or misnested enter/exit pairs, depth discontinuities, per-thread
+/// timestamp regressions, and spans left open at end of stream.
+pub fn parse_events(text: &str) -> Result<ParsedEvents, ReportError> {
+    let mut threads: BTreeMap<u64, ThreadState> = BTreeMap::new();
+    let mut roots = Vec::new();
+    let mut events = 0usize;
+    let mut gauges = 0usize;
+    let mut first_ns = u64::MAX;
+    let mut last_ns = 0u64;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let value = Value::parse(raw).map_err(|msg| ReportError::Json { line, msg })?;
+        events += 1;
+        let ev = require_str(&value, "ev", line)?;
+        let t_ns = require_u64(&value, "t_ns", line)?;
+        first_ns = first_ns.min(t_ns);
+        last_ns = last_ns.max(t_ns);
+        match ev {
+            "gauge" => {
+                require_str(&value, "name", line)?;
+                require_f64(&value, "value", line)?;
+                gauges += 1;
+            }
+            "enter" | "exit" => {
+                let name = require_str(&value, "name", line)?;
+                let tid = require_u64(&value, "tid", line)?;
+                let depth = require_u64(&value, "depth", line)?;
+                let state = threads.entry(tid).or_default();
+                if let Some(prev) = state.last_ns {
+                    if t_ns < prev {
+                        return Err(ReportError::NonMonotonic {
+                            line,
+                            tid,
+                            prev_ns: prev,
+                            now_ns: t_ns,
+                        });
+                    }
+                }
+                state.last_ns = Some(t_ns);
+                if ev == "enter" {
+                    let expected = state.stack.len() as u64;
+                    if depth != expected {
+                        return Err(ReportError::DepthMismatch {
+                            line,
+                            tid,
+                            expected,
+                            found: depth,
+                        });
+                    }
+                    state.stack.push(OpenSpan {
+                        name: name.to_owned(),
+                        depth,
+                        t0_ns: t_ns,
+                        line,
+                        children: Vec::new(),
+                    });
+                } else {
+                    let Some(open) = state.stack.last() else {
+                        return Err(ReportError::UnbalancedExit {
+                            line,
+                            tid,
+                            name: name.to_owned(),
+                            open: None,
+                        });
+                    };
+                    if open.name != name {
+                        return Err(ReportError::UnbalancedExit {
+                            line,
+                            tid,
+                            name: name.to_owned(),
+                            open: Some(open.name.clone()),
+                        });
+                    }
+                    let expected = state.stack.len() as u64 - 1;
+                    if depth != expected {
+                        return Err(ReportError::DepthMismatch {
+                            line,
+                            tid,
+                            expected,
+                            found: depth,
+                        });
+                    }
+                    let open = state.stack.pop().expect("non-empty checked above");
+                    // Prefer the recorded duration (measured by the span
+                    // itself); fall back to exit − enter timestamps.
+                    let dur_ns = match value.get("dur_ns").and_then(Value::as_f64) {
+                        Some(d) if d >= 0.0 => as_u64(d),
+                        _ => t_ns.saturating_sub(open.t0_ns),
+                    };
+                    last_ns = last_ns.max(open.t0_ns.saturating_add(dur_ns));
+                    let node = SpanNode {
+                        name: open.name,
+                        tid,
+                        depth: open.depth,
+                        t0_ns: open.t0_ns,
+                        dur_ns,
+                        children: open.children,
+                        line: open.line,
+                    };
+                    match state.stack.last_mut() {
+                        Some(parent) => parent.children.push(node),
+                        None => roots.push(node),
+                    }
+                }
+            }
+            other => {
+                return Err(ReportError::UnknownEvent {
+                    line,
+                    ev: other.to_owned(),
+                });
+            }
+        }
+    }
+
+    for (tid, state) in &threads {
+        if let Some(open) = state.stack.first() {
+            return Err(ReportError::UnclosedSpan {
+                tid: *tid,
+                name: open.name.clone(),
+                opened_line: open.line,
+            });
+        }
+    }
+
+    if events == 0 {
+        first_ns = 0;
+    }
+    Ok(ParsedEvents {
+        events,
+        gauges,
+        roots,
+        threads: threads.len(),
+        first_ns,
+        last_ns,
+    })
+}
+
+/// Aggregate statistics for one span name.
+#[derive(Debug, Clone)]
+pub struct NameStats {
+    /// Number of completed spans with this name.
+    pub count: u64,
+    /// Total wall nanoseconds across them.
+    pub total_ns: u64,
+    /// Total self (non-child) nanoseconds.
+    pub self_ns: u64,
+    /// Median duration estimate.
+    pub p50_ns: f64,
+    /// 95th-percentile duration estimate.
+    pub p95_ns: f64,
+    /// Longest single duration (exact, not interpolated).
+    pub max_ns: u64,
+}
+
+/// One hop on the critical path.
+#[derive(Debug, Clone)]
+pub struct CriticalHop {
+    /// Span name.
+    pub name: String,
+    /// Thread index.
+    pub tid: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Self time in nanoseconds.
+    pub self_ns: u64,
+}
+
+/// A complete profile of one run's event stream.
+#[derive(Debug)]
+pub struct Profile {
+    /// Experiment name the profile was built for.
+    pub exp: String,
+    /// Total event lines.
+    pub events: usize,
+    /// Gauge events among them.
+    pub gauges: usize,
+    /// Distinct threads.
+    pub threads: usize,
+    /// Stream extent in nanoseconds.
+    pub wall_ns: u64,
+    /// Per-name aggregates, sorted by name.
+    pub names: BTreeMap<String, NameStats>,
+    /// The longest chain of nested spans: the longest root, then its
+    /// longest child, and so on to a leaf. Ties break toward the earliest
+    /// enter time, then the lowest thread index — deterministically.
+    pub critical_path: Vec<CriticalHop>,
+    /// Folded-stack self times: `"root;child;leaf" -> self_ns`, summed
+    /// over all occurrences of that stack across threads.
+    pub folded: BTreeMap<String, u64>,
+}
+
+/// Duration histogram edges: 100 ns to 100 s, 12 buckets per decade.
+/// Wide enough for everything this workspace records; interpolation error
+/// within one bucket is ~21%.
+fn duration_edges() -> Vec<f64> {
+    Histogram::log_edges(100.0, 1e11, 12)
+}
+
+/// Builds a [`Profile`] from a validated stream.
+#[must_use]
+pub fn build_profile(exp: &str, parsed: &ParsedEvents) -> Profile {
+    struct Agg {
+        count: u64,
+        total_ns: u64,
+        self_ns: u64,
+        max_ns: u64,
+        hist: Histogram,
+    }
+    let mut names: BTreeMap<String, Agg> = BTreeMap::new();
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    let edges = duration_edges();
+
+    fn walk(
+        node: &SpanNode,
+        path: &mut String,
+        names: &mut BTreeMap<String, Agg>,
+        folded: &mut BTreeMap<String, u64>,
+        edges: &[f64],
+    ) {
+        let agg = names.entry(node.name.clone()).or_insert_with(|| Agg {
+            count: 0,
+            total_ns: 0,
+            self_ns: 0,
+            max_ns: 0,
+            hist: Histogram::new(edges),
+        });
+        let self_ns = node.self_ns();
+        agg.count += 1;
+        agg.total_ns = agg.total_ns.saturating_add(node.dur_ns);
+        agg.self_ns = agg.self_ns.saturating_add(self_ns);
+        agg.max_ns = agg.max_ns.max(node.dur_ns);
+        agg.hist.observe(dur_f64(node.dur_ns));
+
+        let prev_len = path.len();
+        if !path.is_empty() {
+            path.push(';');
+        }
+        path.push_str(&node.name);
+        *folded.entry(path.clone()).or_insert(0) += self_ns;
+        for child in &node.children {
+            walk(child, path, names, folded, edges);
+        }
+        path.truncate(prev_len);
+    }
+
+    let mut path = String::new();
+    for root in &parsed.roots {
+        walk(root, &mut path, &mut names, &mut folded, &edges);
+    }
+
+    let names = names
+        .into_iter()
+        .map(|(name, agg)| {
+            (
+                name,
+                NameStats {
+                    count: agg.count,
+                    total_ns: agg.total_ns,
+                    self_ns: agg.self_ns,
+                    p50_ns: agg.hist.quantile(0.50).unwrap_or(0.0),
+                    p95_ns: agg.hist.quantile(0.95).unwrap_or(0.0),
+                    max_ns: agg.max_ns,
+                },
+            )
+        })
+        .collect();
+
+    Profile {
+        exp: exp.to_owned(),
+        events: parsed.events,
+        gauges: parsed.gauges,
+        threads: parsed.threads,
+        wall_ns: parsed.wall_ns(),
+        names,
+        critical_path: critical_path(&parsed.roots),
+        folded,
+    }
+}
+
+/// Walks the longest-duration chain from roots to a leaf.
+fn critical_path(roots: &[SpanNode]) -> Vec<CriticalHop> {
+    let mut out = Vec::new();
+    let mut level = roots;
+    while let Some(next) = longest(level) {
+        out.push(CriticalHop {
+            name: next.name.clone(),
+            tid: next.tid,
+            dur_ns: next.dur_ns,
+            self_ns: next.self_ns(),
+        });
+        level = &next.children;
+    }
+    out
+}
+
+/// The longest span at one level; ties break toward earlier `t0_ns`, then
+/// lower `tid`, so the choice is deterministic.
+fn longest(level: &[SpanNode]) -> Option<&SpanNode> {
+    level.iter().min_by(|a, b| {
+        b.dur_ns
+            .cmp(&a.dur_ns)
+            .then(a.t0_ns.cmp(&b.t0_ns))
+            .then(a.tid.cmp(&b.tid))
+    })
+}
+
+impl Profile {
+    /// Serializes the profile to a JSON value with a stable member order.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        let names = self
+            .names
+            .iter()
+            .map(|(name, s)| {
+                (
+                    name.clone(),
+                    Value::Obj(vec![
+                        ("count".to_owned(), Value::from(s.count)),
+                        ("total_ns".to_owned(), Value::from(s.total_ns)),
+                        ("self_ns".to_owned(), Value::from(s.self_ns)),
+                        ("p50_ns".to_owned(), Value::from(round3(s.p50_ns))),
+                        ("p95_ns".to_owned(), Value::from(round3(s.p95_ns))),
+                        ("max_ns".to_owned(), Value::from(s.max_ns)),
+                    ]),
+                )
+            })
+            .collect();
+        let critical = self
+            .critical_path
+            .iter()
+            .map(|hop| {
+                Value::Obj(vec![
+                    ("name".to_owned(), Value::from(hop.name.as_str())),
+                    ("tid".to_owned(), Value::from(hop.tid)),
+                    ("dur_ns".to_owned(), Value::from(hop.dur_ns)),
+                    ("self_ns".to_owned(), Value::from(hop.self_ns)),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("exp".to_owned(), Value::from(self.exp.as_str())),
+            ("events".to_owned(), Value::from(self.events as u64)),
+            ("gauges".to_owned(), Value::from(self.gauges as u64)),
+            ("threads".to_owned(), Value::from(self.threads as u64)),
+            ("wall_ns".to_owned(), Value::from(self.wall_ns)),
+            ("spans".to_owned(), Value::Obj(names)),
+            ("critical_path".to_owned(), Value::Arr(critical)),
+        ])
+    }
+
+    /// Renders flamegraph folded-stack lines (`stack self_ns`), sorted by
+    /// stack string for byte-determinism. Loadable by inferno/speedscope.
+    #[must_use]
+    pub fn folded_text(&self) -> String {
+        let mut out = String::new();
+        for (stack, self_ns) in &self.folded {
+            out.push_str(stack);
+            out.push(' ');
+            out.push_str(&self_ns.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn require_str<'v>(
+    value: &'v Value,
+    field: &'static str,
+    line: usize,
+) -> Result<&'v str, ReportError> {
+    value
+        .get(field)
+        .and_then(Value::as_str)
+        .ok_or(ReportError::MissingField { line, field })
+}
+
+fn require_f64(value: &Value, field: &'static str, line: usize) -> Result<f64, ReportError> {
+    // Null means a non-finite float was serialized — it is present but
+    // useless, which for an event stream counts as missing data.
+    value
+        .get(field)
+        .and_then(Value::as_f64)
+        .filter(|v| v.is_finite())
+        .ok_or(ReportError::MissingField { line, field })
+}
+
+fn require_u64(value: &Value, field: &'static str, line: usize) -> Result<u64, ReportError> {
+    let v = require_f64(value, field, line)?;
+    if v < 0.0 {
+        return Err(ReportError::MissingField { line, field });
+    }
+    Ok(as_u64(v))
+}
+
+/// `f64 -> u64` for values already validated non-negative and finite.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn as_u64(v: f64) -> u64 {
+    v as u64
+}
+
+/// `u64 -> f64` for histogram observation (durations fit well in 2^53).
+#[allow(clippy::cast_precision_loss)]
+fn dur_f64(v: u64) -> f64 {
+    v as f64
+}
+
+/// Rounds to 3 decimal places so interpolated quantiles serialize stably
+/// and readably.
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(parts: &str) -> String {
+        format!("{{{parts}}}\n")
+    }
+
+    fn stream(lines: &[&str]) -> String {
+        lines.iter().map(|l| ev(l)).collect()
+    }
+
+    #[test]
+    fn parses_nested_spans_across_threads() {
+        let text = stream(&[
+            r#""ev":"enter","name":"run","t_ns":100,"tid":0,"depth":0"#,
+            r#""ev":"enter","name":"step","t_ns":150,"tid":0,"depth":1"#,
+            r#""ev":"enter","name":"worker","t_ns":160,"tid":1,"depth":0"#,
+            r#""ev":"gauge","name":"loss","t_ns":170,"value":0.5"#,
+            r#""ev":"exit","name":"worker","t_ns":300,"tid":1,"depth":0,"dur_ns":140"#,
+            r#""ev":"exit","name":"step","t_ns":400,"tid":0,"depth":1,"dur_ns":250"#,
+            r#""ev":"exit","name":"run","t_ns":500,"tid":0,"depth":0,"dur_ns":400"#,
+        ]);
+        let parsed = parse_events(&text).unwrap();
+        assert_eq!(parsed.events, 7);
+        assert_eq!(parsed.gauges, 1);
+        assert_eq!(parsed.threads, 2);
+        assert_eq!(parsed.roots.len(), 2);
+        let run = parsed.roots.iter().find(|r| r.name == "run").unwrap();
+        assert_eq!(run.children.len(), 1);
+        assert_eq!(run.children[0].name, "step");
+        assert_eq!(run.dur_ns, 400);
+        assert_eq!(run.self_ns(), 150);
+        assert_eq!(parsed.wall_ns(), 400);
+    }
+
+    #[test]
+    fn profile_aggregates_and_folds() {
+        let text = stream(&[
+            r#""ev":"enter","name":"run","t_ns":0,"tid":0,"depth":0"#,
+            r#""ev":"enter","name":"step","t_ns":10,"tid":0,"depth":1"#,
+            r#""ev":"exit","name":"step","t_ns":60,"tid":0,"depth":1,"dur_ns":50"#,
+            r#""ev":"enter","name":"step","t_ns":70,"tid":0,"depth":1"#,
+            r#""ev":"exit","name":"step","t_ns":100,"tid":0,"depth":1,"dur_ns":30"#,
+            r#""ev":"exit","name":"run","t_ns":200,"tid":0,"depth":0,"dur_ns":200"#,
+        ]);
+        let profile = build_profile("unit", &parse_events(&text).unwrap());
+        let step = &profile.names["step"];
+        assert_eq!(step.count, 2);
+        assert_eq!(step.total_ns, 80);
+        assert_eq!(step.self_ns, 80);
+        assert_eq!(step.max_ns, 50);
+        let run = &profile.names["run"];
+        assert_eq!(run.self_ns, 120);
+        assert_eq!(profile.folded["run"], 120);
+        assert_eq!(profile.folded["run;step"], 80);
+        let path: Vec<&str> = profile
+            .critical_path
+            .iter()
+            .map(|h| h.name.as_str())
+            .collect();
+        assert_eq!(path, ["run", "step"]);
+        assert_eq!(profile.critical_path[1].dur_ns, 50);
+    }
+
+    #[test]
+    fn profile_output_is_deterministic() {
+        let text = stream(&[
+            r#""ev":"enter","name":"b","t_ns":0,"tid":1,"depth":0"#,
+            r#""ev":"enter","name":"a","t_ns":5,"tid":0,"depth":0"#,
+            r#""ev":"exit","name":"a","t_ns":50,"tid":0,"depth":0,"dur_ns":45"#,
+            r#""ev":"exit","name":"b","t_ns":90,"tid":1,"depth":0,"dur_ns":90"#,
+        ]);
+        let p1 = build_profile("unit", &parse_events(&text).unwrap());
+        let p2 = build_profile("unit", &parse_events(&text).unwrap());
+        assert_eq!(p1.to_value().to_json(), p2.to_value().to_json());
+        assert_eq!(p1.folded_text(), p2.folded_text());
+    }
+
+    #[test]
+    fn rejects_invalid_json_with_line_number() {
+        let text =
+            "{\"ev\":\"enter\",\"name\":\"run\",\"t_ns\":0,\"tid\":0,\"depth\":0}\n{broken\n";
+        match parse_events(text) {
+            Err(ReportError::Json { line: 2, .. }) => {}
+            other => panic!("expected Json error on line 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unbalanced_exit() {
+        let text = stream(&[r#""ev":"exit","name":"run","t_ns":0,"tid":0,"depth":0,"dur_ns":1"#]);
+        match parse_events(&text) {
+            Err(ReportError::UnbalancedExit {
+                line: 1,
+                open: None,
+                ..
+            }) => {}
+            other => panic!("expected UnbalancedExit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_exit_name() {
+        let text = stream(&[
+            r#""ev":"enter","name":"outer","t_ns":0,"tid":0,"depth":0"#,
+            r#""ev":"exit","name":"inner","t_ns":5,"tid":0,"depth":0,"dur_ns":5"#,
+        ]);
+        match parse_events(&text) {
+            Err(ReportError::UnbalancedExit {
+                line: 2,
+                open: Some(open),
+                ..
+            }) => assert_eq!(open, "outer"),
+            other => panic!("expected UnbalancedExit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_depth_discontinuity() {
+        let text = stream(&[r#""ev":"enter","name":"run","t_ns":0,"tid":0,"depth":3"#]);
+        match parse_events(&text) {
+            Err(ReportError::DepthMismatch {
+                line: 1,
+                expected: 0,
+                found: 3,
+                ..
+            }) => {}
+            other => panic!("expected DepthMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_backwards_time_within_thread() {
+        let text = stream(&[
+            r#""ev":"enter","name":"a","t_ns":100,"tid":0,"depth":0"#,
+            r#""ev":"exit","name":"a","t_ns":50,"tid":0,"depth":0,"dur_ns":1"#,
+        ]);
+        match parse_events(&text) {
+            Err(ReportError::NonMonotonic {
+                line: 2,
+                prev_ns: 100,
+                now_ns: 50,
+                ..
+            }) => {}
+            other => panic!("expected NonMonotonic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_thread_time_skew_is_fine() {
+        // Threads interleave in file order; only per-thread order matters.
+        let text = stream(&[
+            r#""ev":"enter","name":"a","t_ns":100,"tid":0,"depth":0"#,
+            r#""ev":"enter","name":"b","t_ns":50,"tid":1,"depth":0"#,
+            r#""ev":"exit","name":"b","t_ns":60,"tid":1,"depth":0,"dur_ns":10"#,
+            r#""ev":"exit","name":"a","t_ns":110,"tid":0,"depth":0,"dur_ns":10"#,
+        ]);
+        assert!(parse_events(&text).is_ok());
+    }
+
+    #[test]
+    fn rejects_unclosed_span() {
+        let text = stream(&[r#""ev":"enter","name":"run","t_ns":0,"tid":7,"depth":0"#]);
+        match parse_events(&text) {
+            Err(ReportError::UnclosedSpan {
+                tid: 7,
+                opened_line: 1,
+                ..
+            }) => {}
+            other => panic!("expected UnclosedSpan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_event_kind() {
+        let text = stream(&[r#""ev":"mark","name":"x","t_ns":0"#]);
+        match parse_events(&text) {
+            Err(ReportError::UnknownEvent { line: 1, ev }) => assert_eq!(ev, "mark"),
+            other => panic!("expected UnknownEvent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_field() {
+        let text = stream(&[r#""ev":"enter","name":"run","tid":0,"depth":0"#]);
+        match parse_events(&text) {
+            Err(ReportError::MissingField {
+                line: 1,
+                field: "t_ns",
+            }) => {}
+            other => panic!("expected MissingField(t_ns), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_stream_parses_to_empty_profile() {
+        let parsed = parse_events("").unwrap();
+        assert_eq!(parsed.events, 0);
+        let profile = build_profile("unit", &parsed);
+        assert!(profile.names.is_empty());
+        assert!(profile.critical_path.is_empty());
+        assert_eq!(profile.folded_text(), "");
+    }
+}
