@@ -1,30 +1,31 @@
 //! Measures the observability tax on the hottest instrumented loop: the
 //! Monte Carlo sweep of `lori-ftsched`.
 //!
-//! Three configurations:
+//! The headline A/B — always run, even under `LORI_BENCH_SMOKE=1` — is the
+//! telemetry-plane tax in the shipping default: the sweep with every
+//! consumer off (`baseline`: no recorder, flight disabled) against the
+//! harness default with the endpoint *disabled* (`telemetry_disabled`:
+//! flight recorder armed, no recorder installed, no `LORI_TELEMETRY`
+//! listener). Samples interleave A and B so drift hits both arms equally;
+//! the medians land in `results/BENCH_obs.json` with the relative
+//! `overhead_pct`. Acceptance target: < 2 %.
 //!
-//! - `uninstrumented_baseline` — the sweep with no recorder installed (the
-//!   shipping default: every span is a single relaxed atomic load);
-//! - `null_recorder` — a [`lori_obs::NullRecorder`] explicitly installed,
-//!   which must behave identically to no recorder;
-//! - `memory_recorder` — a real recorder sink, to show what full event
-//!   capture costs for scale.
+//! The criterion groups (skipped in smoke mode) keep the finer-grained
+//! comparisons:
 //!
-//! Acceptance target: the NullRecorder configurations regress < 2 % vs
-//! the baseline — i.e. their medians are statistically indistinguishable.
-//!
-//! A second group, `jsonl_recorder`, measures the [`lori_obs::JsonlRecorder`]
-//! write paths against each other: the pre-PR5 behaviour (every event locks
-//! the shared writer) vs the per-thread buffered fast path, at 1 and 4
-//! recording threads. Acceptance target: buffered is no slower at 1 thread
-//! and faster at 4 (where the unbuffered path serializes all workers on one
-//! mutex).
+//! - `obs_overhead/sweep`: uninstrumented vs [`lori_obs::NullRecorder`]
+//!   (must be indistinguishable) vs [`lori_obs::MemoryRecorder`] (what full
+//!   event capture costs for scale);
+//! - `jsonl_recorder/record`: the [`lori_obs::JsonlRecorder`] shared-lock
+//!   write path vs the per-thread buffered fast path, at 1 and 4 threads.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use lori_bench::write_bench_obs;
 use lori_ftsched::montecarlo::{sweep, SweepConfig};
 use lori_ftsched::workload::adpcm_reference_trace;
 use lori_obs::{Event, JsonlRecorder, Recorder};
 use std::sync::Arc;
+use std::time::Instant;
 
 fn sweep_once() {
     let trace = adpcm_reference_trace();
@@ -34,6 +35,67 @@ fn sweep_once() {
     };
     let points = sweep(&[1e-6, 1e-5], &trace, &config).expect("sweep");
     criterion::black_box(points);
+}
+
+fn smoke_mode() -> bool {
+    std::env::var("LORI_BENCH_SMOKE").is_ok_and(|v| !matches!(v.as_str(), "" | "0" | "false"))
+}
+
+/// Interleaved A/B sample pairs for the BENCH_obs record. Few enough to
+/// stay fast in CI smoke runs, enough for a stable median.
+const AB_PAIRS: usize = 7;
+
+/// Sweeps per timed sample: one `sweep_once` is sub-millisecond, so each
+/// sample amortizes scheduler noise over a longer run to keep the <2%
+/// gate out of the noise floor.
+const SWEEPS_PER_SAMPLE: usize = 32;
+
+fn sample() {
+    for _ in 0..SWEEPS_PER_SAMPLE {
+        sweep_once();
+    }
+}
+
+fn timed(f: impl Fn()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64()
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// The headline A/B: everything-off baseline vs the shipping default with
+/// the telemetry endpoint disabled (flight ring armed, nothing else).
+fn measure_telemetry_disabled_tax() {
+    lori_obs::uninstall();
+    let mut baseline = Vec::with_capacity(AB_PAIRS);
+    let mut disabled = Vec::with_capacity(AB_PAIRS);
+    // One warm-up pass per arm so neither pays first-touch costs.
+    lori_obs::flight::disable();
+    sample();
+    lori_obs::flight::enable(lori_obs::flight::DEFAULT_CAPACITY);
+    sample();
+    for _ in 0..AB_PAIRS {
+        lori_obs::flight::disable();
+        baseline.push(timed(sample));
+        lori_obs::flight::enable(lori_obs::flight::DEFAULT_CAPACITY);
+        disabled.push(timed(sample));
+    }
+    lori_obs::flight::disable();
+
+    let baseline_s = median(&mut baseline);
+    let disabled_s = median(&mut disabled);
+    let path = write_bench_obs(AB_PAIRS, baseline_s, disabled_s);
+    println!(
+        "BENCH_obs: baseline {:.6}s, telemetry-disabled {:.6}s ({:+.3}%) -> {}",
+        baseline_s,
+        disabled_s,
+        (disabled_s - baseline_s) / baseline_s.max(1e-12) * 100.0,
+        path.display()
+    );
 }
 
 fn bench_obs_overhead(c: &mut Criterion) {
@@ -76,6 +138,8 @@ fn record_span_pairs(rec: &JsonlRecorder, tid: u64) {
             t_ns: i * 2,
             tid,
             depth: 0,
+            sid: i + 1,
+            parent: 0,
             attr: Some(1e-6),
         });
         rec.record(&Event::SpanExit {
@@ -84,6 +148,7 @@ fn record_span_pairs(rec: &JsonlRecorder, tid: u64) {
             tid,
             depth: 0,
             dur_ns: 1,
+            sid: i + 1,
         });
     }
 }
@@ -128,4 +193,11 @@ fn bench_jsonl_paths(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_obs_overhead, bench_jsonl_paths);
-criterion_main!(benches);
+
+fn main() {
+    measure_telemetry_disabled_tax();
+    if smoke_mode() {
+        return;
+    }
+    benches();
+}

@@ -15,6 +15,14 @@
 //! [`Harness::finish`] for the binary to report. All file artifacts are
 //! written atomically (temp file + rename), so a killed run never leaves a
 //! truncated manifest or event log under its final name.
+//!
+//! The harness also arms the live telemetry plane: the flight recorder
+//! (on by default, `LORI_FLIGHT=off` disables; dumps the recent-event ring
+//! to `results/<name>.flight.json` on panic or quarantine) and, when
+//! `LORI_TELEMETRY=<addr>` is set, the in-process HTTP endpoint serving
+//! `/metrics`, `/status`, `/progress`, and `/flight` while the run
+//! executes. Telemetry is read-only bookkeeping outside the metrics
+//! registry, so enabling it never changes a run's artifacts.
 
 use lori_obs as obs;
 use obs::Value;
@@ -90,6 +98,23 @@ impl Harness {
         if events_path.is_none() {
             obs::install(Arc::new(obs::NullRecorder));
         }
+        // Black box: keep a ring of recent events unless explicitly off,
+        // and dump it next to the other artifacts on panic/quarantine.
+        if std::env::var_os("LORI_FLIGHT").is_none() {
+            obs::flight::enable(obs::flight::DEFAULT_CAPACITY);
+        } else {
+            obs::flight::init_from_env();
+        }
+        if obs::flight::enabled() && dir_ok {
+            obs::flight::set_dump_path(dir.join(format!("{name}.flight.json")));
+            obs::flight::install_panic_hook();
+        }
+        match obs::telemetry::init_from_env() {
+            Ok(Some(addr)) => eprintln!("telemetry: listening on {addr}"),
+            Ok(None) => {}
+            Err(err) => eprintln!("warning: cannot start LORI_TELEMETRY endpoint: {err}"),
+        }
+        obs::telemetry::set_run(name);
         let mut manifest = obs::RunManifest::start(name);
         manifest.config("obs", events_path.is_some());
         // The golden-model cache mode changes wall time, never bytes; it is
@@ -135,6 +160,8 @@ impl Harness {
     /// Runs `f` as a named, timed phase: it gets a top-level span in the
     /// event stream and a `phases[]` entry in the manifest.
     pub fn phase<T>(&mut self, label: &'static str, f: impl FnOnce() -> T) -> T {
+        obs::telemetry::set_phase(label);
+        obs::telemetry::set_manifest_json(self.manifest.to_json());
         let _span = obs::span(label);
         let t0 = Instant::now();
         let out = f();
@@ -175,6 +202,31 @@ impl Harness {
         }
         self.finished = true;
         obs::uninstall();
+        // Derived health ratios, computed after the recorder is gone so
+        // they land in the manifest snapshot without touching the event
+        // stream (artifacts stay identical with telemetry on or off).
+        // Read through a snapshot rather than `obs::counter`, which would
+        // register absent counters at zero in every manifest.
+        let counters = obs::registry().snapshot();
+        let get = |name: &str| {
+            counters
+                .iter()
+                .find(|m| m.name == name)
+                .and_then(|m| match m.value {
+                    obs::MetricValue::Counter(v) => Some(v),
+                    _ => None,
+                })
+                .unwrap_or(0)
+        };
+        let hits = get("cache.hits");
+        let misses = get("cache.misses");
+        if hits + misses > 0 {
+            obs::gauge("cache.hit_rate").set(ratio(hits, hits + misses));
+        }
+        let tasks = get("fault.tasks");
+        if tasks > 0 {
+            obs::gauge("fault.quarantine_rate").set(ratio(get("fault.quarantined"), tasks));
+        }
         if !self.checks.is_empty() {
             let checks = Value::Obj(
                 self.checks
@@ -185,6 +237,8 @@ impl Harness {
             self.manifest.config.push(("checks".to_owned(), checks));
         }
         self.manifest.finish(obs::registry().snapshot());
+        obs::telemetry::set_phase("finished");
+        obs::telemetry::set_manifest_json(self.manifest.to_json());
         let path = results_dir().join(format!("{}.manifest.json", self.name));
         self.manifest.write(&path)?;
         print!("manifest: {}", path.display());
@@ -194,6 +248,12 @@ impl Harness {
         println!();
         Ok(())
     }
+}
+
+/// `num / den` as a gauge value; callers guarantee `den > 0`.
+#[allow(clippy::cast_precision_loss)]
+fn ratio(num: u64, den: u64) -> f64 {
+    num as f64 / den as f64
 }
 
 impl Drop for Harness {

@@ -11,7 +11,7 @@ pub mod progress;
 pub mod resume;
 
 pub use harness::Harness;
-pub use perf::{write_bench_cache, write_bench_sweep, CacheTiming, SweepTiming};
+pub use perf::{write_bench_cache, write_bench_obs, write_bench_sweep, CacheTiming, SweepTiming};
 pub use progress::Progress;
 pub use resume::{resumable_sweep, SweepOutcome};
 
@@ -74,6 +74,19 @@ pub fn fmt(v: f64) -> String {
 #[must_use]
 pub fn fmt_prob(p: f64) -> String {
     format!("{p:.1e}")
+}
+
+/// Monte Carlo runs per point: `LORI_RUNS` when set to a positive integer,
+/// else `default`. Lets CI smoke jobs stretch a sub-10 ms sweep long
+/// enough to scrape mid-run (the WAL fingerprint includes the run count,
+/// so an overridden run never resumes from mismatched checkpoints).
+#[must_use]
+pub fn runs_from_env(default: usize) -> usize {
+    std::env::var("LORI_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
 }
 
 /// Prints a standard experiment banner.

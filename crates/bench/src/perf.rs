@@ -3,7 +3,9 @@
 //! [`write_bench_sweep`] emits `results/BENCH_sweep.json`: wall time and
 //! throughput (probability points per second) for one fixed Fig. 5/6-sized
 //! Monte Carlo sweep, measured serially and with the parallel executor.
-//! Future PRs diff this file to see whether a change moved the hot path.
+//! [`write_bench_cache`] and [`write_bench_obs`] record the memoization
+//! payoff and the observability tax in the same shape. Future PRs diff
+//! these files to see whether a change moved the hot path.
 
 use crate::harness::results_dir;
 use lori_obs::Value;
@@ -157,6 +159,55 @@ pub fn write_bench_cache(
     path
 }
 
+/// Writes `results/BENCH_obs.json` — the observability-tax record: median
+/// wall seconds for one fixed Monte Carlo sweep with the telemetry plane
+/// fully off (`baseline`) and with the shipping default (flight recorder
+/// armed, no recorder, no endpoint — `telemetry_disabled`), plus the
+/// relative overhead in percent. The acceptance bar is overhead < 2%.
+/// Returns the path written.
+///
+/// # Panics
+///
+/// Panics if the results directory cannot be created or the file cannot be
+/// written — a perf record that silently fails to persist is worse than a
+/// loud failure in a bench run.
+pub fn write_bench_obs(samples: usize, baseline_s: f64, telemetry_disabled_s: f64) -> PathBuf {
+    let overhead_pct = if baseline_s > 0.0 {
+        (telemetry_disabled_s - baseline_s) / baseline_s * 100.0
+    } else {
+        0.0
+    };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let doc = Value::Obj(vec![
+        ("bench".to_owned(), Value::from("obs_overhead")),
+        ("samples".to_owned(), Value::from(samples as u64)),
+        ("cores".to_owned(), Value::from(cores as u64)),
+        (
+            "baseline".to_owned(),
+            Value::Obj(vec![("wall_s".to_owned(), Value::from(baseline_s))]),
+        ),
+        (
+            "telemetry_disabled".to_owned(),
+            Value::Obj(vec![(
+                "wall_s".to_owned(),
+                Value::from(telemetry_disabled_s),
+            )]),
+        ),
+        ("overhead_pct".to_owned(), Value::from(overhead_pct)),
+        (
+            "version".to_owned(),
+            Value::from(lori_obs::version_string()),
+        ),
+    ]);
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_obs.json");
+    // Atomic replace, same contract as BENCH_sweep.json.
+    lori_fault::atomic_write(&path, format!("{}\n", doc.to_json()).as_bytes())
+        .expect("write BENCH_obs.json");
+    path
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +240,20 @@ mod tests {
             warm.get("calls_per_s").and_then(Value::as_f64),
             Some(4320.0)
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_obs_record_round_trips() {
+        let dir = std::env::temp_dir().join(format!("lori-perf-obs-{}", std::process::id()));
+        std::env::set_var("LORI_RESULTS_DIR", &dir);
+        let path = write_bench_obs(9, 2.0, 2.02);
+        std::env::remove_var("LORI_RESULTS_DIR");
+        let text = std::fs::read_to_string(&path).expect("record written");
+        let v = Value::parse(&text).expect("valid json");
+        assert_eq!(v.get("bench").and_then(Value::as_str), Some("obs_overhead"));
+        let pct = v.get("overhead_pct").and_then(Value::as_f64).unwrap();
+        assert!((pct - 1.0).abs() < 1e-9, "overhead_pct = {pct}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,301 @@
+//! End-to-end tests for the telemetry plane over real TCP: concurrent
+//! scrapes during a live sweep, malformed-request handling, clean server
+//! shutdown, and bit-identity of sweep artifacts with the endpoint on/off
+//! at any worker count.
+//!
+//! The endpoint and the progress registry are process-global, so every
+//! test serializes on [`LOCK`].
+
+use lori_ftsched::montecarlo::{sweep_with, SweepConfig};
+use lori_ftsched::workload::adpcm_reference_trace;
+use lori_obs::telemetry;
+use lori_obs::{Progress, Value};
+use lori_par::Parallelism;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Sends `raw` to the server and reads the full response (the server
+/// closes every connection, so read-to-EOF frames it).
+fn raw_request(addr: SocketAddr, raw: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to telemetry endpoint");
+    stream.write_all(raw).expect("send request");
+    // Half-close so a server that reads to head-end never blocks on us.
+    stream.shutdown(std::net::Shutdown::Write).ok();
+    let mut body = String::new();
+    stream.read_to_string(&mut body).expect("read response");
+    body
+}
+
+fn http_get(addr: SocketAddr, target: &str) -> String {
+    raw_request(
+        addr,
+        format!("GET {target} HTTP/1.1\r\nhost: test\r\n\r\n").as_bytes(),
+    )
+}
+
+/// Splits a response into (status line, body) and checks `connection:
+/// close` / `content-length` framing.
+fn parse_response(response: &str) -> (String, String) {
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a blank line after headers");
+    let status = head.lines().next().expect("status line").to_owned();
+    let headers = head.to_ascii_lowercase();
+    assert!(
+        headers.contains("connection: close"),
+        "missing connection: close in {head:?}"
+    );
+    let length: usize = headers
+        .lines()
+        .find_map(|l| l.strip_prefix("content-length: "))
+        .expect("content-length header")
+        .trim()
+        .parse()
+        .expect("numeric content-length");
+    assert_eq!(length, body.len(), "content-length must frame the body");
+    (status, body.to_owned())
+}
+
+fn small_config() -> SweepConfig {
+    SweepConfig {
+        runs: 25,
+        ..SweepConfig::paper()
+    }
+}
+
+const SMALL_AXIS: [f64; 4] = [1e-7, 1e-6, 5e-6, 1e-5];
+
+#[test]
+fn concurrent_scrapes_during_live_sweep() {
+    let _guard = lock();
+    let mut server = telemetry::serve("127.0.0.1:0").expect("bind telemetry endpoint");
+    let addr = server.addr();
+    telemetry::set_run("telemetry-test");
+    telemetry::set_phase("sweep");
+
+    const ITERATIONS: u64 = 40;
+    let progress = Arc::new(Progress::start("tsweep", ITERATIONS));
+    let done = Arc::new(AtomicBool::new(false));
+    let sweeper = {
+        let progress = Arc::clone(&progress);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let trace = adpcm_reference_trace();
+            let config = small_config();
+            for _ in 0..ITERATIONS {
+                sweep_with(&SMALL_AXIS, &trace, &config, Parallelism::new(2))
+                    .expect("sweep iteration");
+                progress.tick();
+            }
+            done.store(true, Ordering::SeqCst);
+        })
+    };
+
+    // Scrape all three routes concurrently with the sweep until it ends.
+    let mut seen_done: Vec<u64> = Vec::new();
+    while !done.load(Ordering::SeqCst) {
+        let (status, metrics) = parse_response(&http_get(addr, "/metrics"));
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(metrics.contains("lori_telemetry_scrapes"), "{metrics}");
+        assert!(metrics.contains("lori_uptime_seconds"), "{metrics}");
+        assert!(
+            metrics.contains("lori_progress_done{phase=\"lori_tsweep\"}"),
+            "progress series missing from:\n{metrics}"
+        );
+
+        let (status, body) = parse_response(&http_get(addr, "/status"));
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        let doc = Value::parse(body.trim()).expect("status is valid JSON");
+        assert_eq!(
+            doc.get("run").and_then(Value::as_str),
+            Some("telemetry-test")
+        );
+        assert!(doc.get("cache").is_some() && doc.get("fault").is_some());
+
+        let (status, body) = parse_response(&http_get(addr, "/progress"));
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        let doc = Value::parse(body.trim()).expect("progress is valid JSON");
+        let entries = doc.as_arr().expect("progress is an array");
+        if let Some(entry) = entries
+            .iter()
+            .find(|e| e.get("phase").and_then(Value::as_str) == Some("tsweep"))
+        {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let done_now = entry.get("done").and_then(Value::as_f64).unwrap() as u64;
+            let total = entry.get("total").and_then(Value::as_f64).unwrap();
+            assert!((total - ITERATIONS as f64).abs() < f64::EPSILON);
+            if let Some(&prev) = seen_done.last() {
+                assert!(
+                    done_now >= prev,
+                    "progress went backwards: {prev} -> {done_now}"
+                );
+            }
+            seen_done.push(done_now);
+        }
+    }
+    sweeper.join().expect("sweeper thread");
+    assert_eq!(progress.done(), ITERATIONS);
+
+    // A final scrape observes the completed phase.
+    let (_, body) = parse_response(&http_get(addr, "/progress"));
+    let doc = Value::parse(body.trim()).expect("progress JSON");
+    let entry = doc
+        .as_arr()
+        .unwrap()
+        .iter()
+        .find(|e| e.get("phase").and_then(Value::as_str) == Some("tsweep"))
+        .expect("tsweep still registered while the tracker lives");
+    assert_eq!(
+        entry.get("done").and_then(Value::as_f64),
+        Some(ITERATIONS as f64)
+    );
+    assert!(!seen_done.is_empty(), "never caught the sweep mid-flight");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_http_errors() {
+    let _guard = lock();
+    let mut server = telemetry::serve("127.0.0.1:0").expect("bind telemetry endpoint");
+    let addr = server.addr();
+
+    // Wrong method: 405 and an allow header naming GET.
+    let response = raw_request(addr, b"POST /metrics HTTP/1.1\r\nhost: t\r\n\r\n");
+    let (status, _) = parse_response(&response);
+    assert_eq!(status, "HTTP/1.1 405 Method Not Allowed");
+    assert!(
+        response.to_ascii_lowercase().contains("allow: get"),
+        "405 must carry allow: GET, got {response:?}"
+    );
+
+    // Not HTTP at all.
+    let (status, _) = parse_response(&raw_request(addr, b"GET /metrics SMTP/1.0\r\n\r\n"));
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+
+    // Line noise.
+    let (status, _) = parse_response(&raw_request(addr, b"\x01\x02garbage\r\n\r\n"));
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+
+    // Empty request (client closes without sending anything).
+    let (status, _) = parse_response(&raw_request(addr, b""));
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+
+    // Unknown route.
+    let (status, _) = parse_response(&http_get(addr, "/nope"));
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+    // The endpoint still serves after the abuse.
+    let (status, _) = parse_response(&http_get(addr, "/metrics"));
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_is_clean_and_port_is_released() {
+    let _guard = lock();
+    let mut server = telemetry::serve("127.0.0.1:0").expect("bind telemetry endpoint");
+    let addr = server.addr();
+    let (status, _) = parse_response(&http_get(addr, "/"));
+    assert_eq!(status, "HTTP/1.1 200 OK");
+
+    server.shutdown();
+    // Idempotent: a second shutdown is a no-op, not a panic.
+    server.shutdown();
+
+    // The listener is gone: new connections are refused (or reset before a
+    // response arrives).
+    let refused = match TcpStream::connect(addr) {
+        Err(_) => true,
+        Ok(mut stream) => {
+            stream.write_all(b"GET / HTTP/1.1\r\n\r\n").ok();
+            let mut out = String::new();
+            stream
+                .read_to_string(&mut out)
+                .map(|_| out.is_empty())
+                .unwrap_or(true)
+        }
+    };
+    assert!(refused, "old address still answered after shutdown");
+
+    // The port is released: a fresh server can bind the exact same address.
+    let mut second = telemetry::serve(&addr.to_string()).expect("rebind freed port");
+    assert_eq!(second.addr(), addr);
+    let (status, _) = parse_response(&http_get(addr, "/metrics"));
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    second.shutdown();
+}
+
+/// Serializes sweep points exactly as the harness WAL/artifact path does.
+fn points_json(points: &[lori_ftsched::montecarlo::SweepPoint]) -> String {
+    let entries: Vec<Value> = points
+        .iter()
+        .map(lori_bench::resume::point_to_value)
+        .collect();
+    Value::Arr(entries).to_json()
+}
+
+#[test]
+fn artifacts_bit_identical_with_telemetry_on_and_off() {
+    let _guard = lock();
+    let trace = adpcm_reference_trace();
+    let config = small_config();
+
+    // Reference run: no endpoint, flight disabled, serial.
+    lori_obs::flight::disable();
+    let quiet_serial = points_json(
+        &sweep_with(&SMALL_AXIS, &trace, &config, Parallelism::new(1)).expect("serial sweep"),
+    );
+    let quiet_parallel = points_json(
+        &sweep_with(&SMALL_AXIS, &trace, &config, Parallelism::new(4)).expect("parallel sweep"),
+    );
+    assert_eq!(
+        quiet_serial, quiet_parallel,
+        "sweep must be bit-identical across worker counts"
+    );
+
+    // Observed run: endpoint live, flight armed, scrapers hammering every
+    // route while the sweep runs.
+    let mut server = telemetry::serve("127.0.0.1:0").expect("bind telemetry endpoint");
+    let addr = server.addr();
+    lori_obs::flight::enable(lori_obs::flight::DEFAULT_CAPACITY);
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                for route in ["/metrics", "/status", "/progress", "/flight"] {
+                    let (status, _) = parse_response(&http_get(addr, route));
+                    assert_eq!(status, "HTTP/1.1 200 OK", "{route} failed mid-sweep");
+                }
+            }
+        })
+    };
+    let observed_serial = points_json(
+        &sweep_with(&SMALL_AXIS, &trace, &config, Parallelism::new(1)).expect("serial sweep"),
+    );
+    let observed_parallel = points_json(
+        &sweep_with(&SMALL_AXIS, &trace, &config, Parallelism::new(4)).expect("parallel sweep"),
+    );
+    stop.store(true, Ordering::SeqCst);
+    scraper.join().expect("scraper thread");
+    lori_obs::flight::disable();
+    server.shutdown();
+
+    assert_eq!(
+        quiet_serial, observed_serial,
+        "telemetry must not perturb serial sweep results"
+    );
+    assert_eq!(
+        quiet_serial, observed_parallel,
+        "telemetry must not perturb parallel sweep results"
+    );
+}

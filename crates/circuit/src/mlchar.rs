@@ -150,6 +150,7 @@ impl MlCharacterizer {
             })
             .collect();
         let _span = lori_obs::span("circuit.mlchar.train");
+        let progress = lori_obs::Progress::start("mlchar.train", tasks.len() as u64);
         let fitted = lori_par::par_map(par, &tasks, |_, (cell_id, cell_rng)| {
             let cell = lib.cell(*cell_id);
             let mut rng = cell_rng.clone();
@@ -207,8 +208,10 @@ impl MlCharacterizer {
                 .map_err(|e| CircuitError::Training(e.to_string()))?;
             let out_slew = GradientBoostRegressor::fit(&slew_ds, &gb_cfg)
                 .map_err(|e| CircuitError::Training(e.to_string()))?;
+            progress.tick();
             Ok((cell_id.0, CellModels { delay, out_slew }))
         });
+        drop(progress);
         // First error in cell-list order wins, matching the serial flow.
         let mut models = HashMap::new();
         for f in fitted {

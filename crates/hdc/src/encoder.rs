@@ -262,13 +262,16 @@ impl RecordEncoder {
     /// [`RecordEncoder::n_features`].
     #[must_use]
     pub fn encode_batch(&self, rows: &[Vec<f64>], par: Parallelism) -> Vec<BinaryHv> {
+        let progress = lori_obs::Progress::start("hdc.encode", rows.len() as u64);
         let chunks = lori_par::par_chunks(par, rows, ENCODE_CHUNK, |_, chunk| {
             // One scratch accumulator per chunk, reset per row.
             let mut acc = BundleAccumulator::new(self.dim());
-            chunk
+            let out = chunk
                 .iter()
                 .map(|row| self.encode_into(row, &mut acc))
-                .collect::<Vec<_>>()
+                .collect::<Vec<_>>();
+            progress.add(chunk.len() as u64);
+            out
         });
         chunks.into_iter().flatten().collect()
     }

@@ -42,18 +42,21 @@ pub struct Gauge {
 }
 
 impl Gauge {
-    /// Sets the gauge; emits a gauge event when recording is enabled.
+    /// Sets the gauge; emits a gauge event when recording is enabled and a
+    /// flight-recorder entry when the flight recorder is armed.
     pub fn set(&self, value: f64) {
         self.bits.store(value.to_bits(), Ordering::Relaxed);
-        if recording() {
+        if crate::active() {
             if let Some(name) = self.name.get() {
-                with_recorder(|rec| {
-                    rec.record(&Event::Gauge {
-                        name,
-                        t_ns: epoch_ns(),
-                        value,
+                let t_ns = epoch_ns();
+                if recording() {
+                    with_recorder(|rec| {
+                        rec.record(&Event::Gauge { name, t_ns, value });
                     });
-                });
+                }
+                if crate::flight::enabled() {
+                    crate::flight::record_gauge(name, t_ns, crate::span::current_tid(), value);
+                }
             }
         }
     }

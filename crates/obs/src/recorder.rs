@@ -28,6 +28,12 @@ pub enum Event<'a> {
         depth: u32,
         /// Optional numeric attribute (e.g. the sweep's error probability).
         attr: Option<f64>,
+        /// Process-unique span id (never 0 for live spans).
+        sid: u64,
+        /// Parent span id: the innermost span open on this thread, or the
+        /// cross-thread parent adopted via [`crate::TraceContext`]; 0 for
+        /// roots.
+        parent: u64,
     },
     /// A span closed.
     SpanExit {
@@ -41,6 +47,8 @@ pub enum Event<'a> {
         depth: u32,
         /// Span duration in nanoseconds.
         dur_ns: u64,
+        /// Process-unique span id, matching the corresponding enter.
+        sid: u64,
     },
     /// A gauge was set.
     Gauge {
@@ -85,19 +93,34 @@ impl Event<'_> {
         write_num(t_ns as f64, out);
         match *self {
             Event::SpanEnter {
-                tid, depth, attr, ..
+                tid,
+                depth,
+                attr,
+                sid,
+                parent,
+                ..
             } => {
                 out.push_str(",\"tid\":");
                 write_num(tid as f64, out);
                 out.push_str(",\"depth\":");
                 write_num(f64::from(depth), out);
+                out.push_str(",\"sid\":");
+                write_num(sid as f64, out);
+                if parent != 0 {
+                    out.push_str(",\"parent\":");
+                    write_num(parent as f64, out);
+                }
                 if let Some(a) = attr {
                     out.push_str(",\"attr\":");
                     write_num(a, out);
                 }
             }
             Event::SpanExit {
-                tid, depth, dur_ns, ..
+                tid,
+                depth,
+                dur_ns,
+                sid,
+                ..
             } => {
                 out.push_str(",\"tid\":");
                 write_num(tid as f64, out);
@@ -105,6 +128,8 @@ impl Event<'_> {
                 write_num(f64::from(depth), out);
                 out.push_str(",\"dur_ns\":");
                 write_num(dur_ns as f64, out);
+                out.push_str(",\"sid\":");
+                write_num(sid as f64, out);
             }
             Event::Gauge { value, .. } => {
                 out.push_str(",\"value\":");
@@ -376,6 +401,8 @@ mod tests {
                 tid: 3,
                 depth: 2,
                 attr: Some(1e-6),
+                sid: 41,
+                parent: 40,
             },
             Event::SpanEnter {
                 name: "a",
@@ -383,6 +410,8 @@ mod tests {
                 tid: 0,
                 depth: 0,
                 attr: Some(0.000_000_01),
+                sid: 1,
+                parent: 0,
             },
             Event::SpanEnter {
                 name: "a",
@@ -390,6 +419,8 @@ mod tests {
                 tid: 17,
                 depth: 40,
                 attr: None,
+                sid: u64::MAX >> 12,
+                parent: 2,
             },
             Event::SpanExit {
                 name: "a.b.c",
@@ -397,6 +428,7 @@ mod tests {
                 tid: 1,
                 depth: 0,
                 dur_ns: 123_456_789,
+                sid: 7,
             },
             Event::Gauge {
                 name: "g",
@@ -423,20 +455,34 @@ mod tests {
                 ];
                 match *ev {
                     Event::SpanEnter {
-                        tid, depth, attr, ..
+                        tid,
+                        depth,
+                        attr,
+                        sid,
+                        parent,
+                        ..
                     } => {
                         members.push(("tid".to_owned(), Value::from(tid)));
                         members.push(("depth".to_owned(), Value::from(u64::from(depth))));
+                        members.push(("sid".to_owned(), Value::from(sid)));
+                        if parent != 0 {
+                            members.push(("parent".to_owned(), Value::from(parent)));
+                        }
                         if let Some(a) = attr {
                             members.push(("attr".to_owned(), Value::from(a)));
                         }
                     }
                     Event::SpanExit {
-                        tid, depth, dur_ns, ..
+                        tid,
+                        depth,
+                        dur_ns,
+                        sid,
+                        ..
                     } => {
                         members.push(("tid".to_owned(), Value::from(tid)));
                         members.push(("depth".to_owned(), Value::from(u64::from(depth))));
                         members.push(("dur_ns".to_owned(), Value::from(dur_ns)));
+                        members.push(("sid".to_owned(), Value::from(sid)));
                     }
                     Event::Gauge { value, .. } => {
                         members.push(("value".to_owned(), Value::from(value)));
@@ -456,11 +502,27 @@ mod tests {
             tid: 1,
             depth: 0,
             attr: Some(1e-6),
+            sid: 3,
+            parent: 2,
         };
         let v = Value::parse(&enter.to_json_line()).unwrap();
         assert_eq!(v.get("ev").and_then(Value::as_str), Some("enter"));
         assert_eq!(v.get("name").and_then(Value::as_str), Some("a.b"));
         assert_eq!(v.get("attr").and_then(Value::as_f64), Some(1e-6));
+        assert_eq!(v.get("sid").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(v.get("parent").and_then(Value::as_f64), Some(2.0));
+
+        let root = Event::SpanEnter {
+            name: "a",
+            t_ns: 5,
+            tid: 1,
+            depth: 0,
+            attr: None,
+            sid: 1,
+            parent: 0,
+        };
+        let v = Value::parse(&root.to_json_line()).unwrap();
+        assert!(v.get("parent").is_none(), "parent omitted for roots");
 
         let exit = Event::SpanExit {
             name: "a.b",
@@ -468,9 +530,11 @@ mod tests {
             tid: 1,
             depth: 0,
             dur_ns: 4,
+            sid: 3,
         };
         let v = Value::parse(&exit.to_json_line()).unwrap();
         assert_eq!(v.get("dur_ns").and_then(Value::as_f64), Some(4.0));
+        assert_eq!(v.get("sid").and_then(Value::as_f64), Some(3.0));
     }
 
     #[test]

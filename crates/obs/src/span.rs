@@ -1,13 +1,16 @@
 //! Span tracing: nested, monotonic-timed scopes.
 //!
 //! [`span`] returns a guard; the span closes when the guard drops. Nesting
-//! is tracked per thread, so recorders can reconstruct the call tree from
-//! `(tid, depth, t_ns)` alone. When recording is disabled the guard is a
-//! no-op created after a single relaxed atomic load — no clock read, no
+//! is tracked per thread, and every live span carries a process-unique
+//! span id (`sid`) plus its parent's id (see [`crate::trace`]), so
+//! recorders can reconstruct one causally-connected tree across worker
+//! threads — `(tid, depth, t_ns)` still orders events within a thread.
+//! When both recording and the flight recorder are disabled the guard is a
+//! no-op created after two relaxed atomic loads — no clock read, no
 //! allocation.
 
 use crate::recorder::Event;
-use crate::{epoch_ns, recording, with_recorder};
+use crate::{active, epoch_ns, flight, recording, trace, with_recorder};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -19,7 +22,7 @@ thread_local! {
 }
 
 /// The small per-process index of the calling thread.
-fn current_tid() -> u64 {
+pub(crate) fn current_tid() -> u64 {
     TID.with(|t| *t)
 }
 
@@ -27,7 +30,7 @@ fn current_tid() -> u64 {
 #[must_use = "a span guard must be held for the duration of the scope"]
 #[derive(Debug)]
 pub struct Span {
-    /// `None` when recording was disabled at entry — drop does nothing.
+    /// `None` when tracing was disabled at entry — drop does nothing.
     live: Option<LiveSpan>,
 }
 
@@ -37,6 +40,19 @@ struct LiveSpan {
     t0_ns: u64,
     tid: u64,
     depth: u32,
+    sid: u64,
+    /// This thread's innermost-open sid before this span opened; restored
+    /// on drop.
+    prev_sid: u64,
+}
+
+impl Span {
+    /// The span's process-unique id, or 0 when tracing was disabled at
+    /// entry.
+    #[must_use]
+    pub fn sid(&self) -> u64 {
+        self.live.as_ref().map_or(0, |l| l.sid)
+    }
 }
 
 /// Opens a span named `name`.
@@ -51,7 +67,7 @@ pub fn span_with(name: &'static str, attr: f64) -> Span {
 }
 
 fn span_inner(name: &'static str, attr: Option<f64>) -> Span {
-    if !recording() {
+    if !active() {
         return Span { live: None };
     }
     let t0_ns = epoch_ns();
@@ -61,21 +77,33 @@ fn span_inner(name: &'static str, attr: Option<f64>) -> Span {
         d.set(depth + 1);
         depth
     });
-    with_recorder(|rec| {
-        rec.record(&Event::SpanEnter {
-            name,
-            t_ns: t0_ns,
-            tid,
-            depth,
-            attr,
+    let sid = trace::next_sid();
+    let parent = trace::current_parent();
+    let prev_sid = trace::swap_current(sid);
+    if recording() {
+        with_recorder(|rec| {
+            rec.record(&Event::SpanEnter {
+                name,
+                t_ns: t0_ns,
+                tid,
+                depth,
+                attr,
+                sid,
+                parent,
+            });
         });
-    });
+    }
+    if flight::enabled() {
+        flight::record_enter(name, t0_ns, tid, sid, parent, attr);
+    }
     Span {
         live: Some(LiveSpan {
             name,
             t0_ns,
             tid,
             depth,
+            sid,
+            prev_sid,
         }),
     }
 }
@@ -86,16 +114,24 @@ impl Drop for Span {
             return;
         };
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        trace::swap_current(live.prev_sid);
         let t_ns = epoch_ns();
-        with_recorder(|rec| {
-            rec.record(&Event::SpanExit {
-                name: live.name,
-                t_ns,
-                tid: live.tid,
-                depth: live.depth,
-                dur_ns: t_ns.saturating_sub(live.t0_ns),
+        let dur_ns = t_ns.saturating_sub(live.t0_ns);
+        if recording() {
+            with_recorder(|rec| {
+                rec.record(&Event::SpanExit {
+                    name: live.name,
+                    t_ns,
+                    tid: live.tid,
+                    depth: live.depth,
+                    dur_ns,
+                    sid: live.sid,
+                });
             });
-        });
+        }
+        if flight::enabled() {
+            flight::record_exit(live.name, t_ns, live.tid, live.sid, dur_ns);
+        }
     }
 }
 
@@ -115,6 +151,7 @@ mod tests {
         // install one serialize on the integration-test lock instead).
         let g = span("unit.disabled");
         assert!(g.live.is_none());
+        assert_eq!(g.sid(), 0);
         drop(g);
         let out = in_span("unit.disabled2", || 7);
         assert_eq!(out, 7);

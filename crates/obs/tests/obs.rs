@@ -238,11 +238,27 @@ fn event_enter_exit_gauge_schema_is_stable() {
         tid: 2,
         depth: 3,
         attr: None,
+        sid: 7,
+        parent: 0,
     }
     .to_json_line();
     assert_eq!(
         line,
-        r#"{"ev":"enter","name":"x","t_ns":1,"tid":2,"depth":3}"#
+        r#"{"ev":"enter","name":"x","t_ns":1,"tid":2,"depth":3,"sid":7}"#
+    );
+    let line = Event::SpanEnter {
+        name: "x",
+        t_ns: 1,
+        tid: 2,
+        depth: 3,
+        attr: None,
+        sid: 8,
+        parent: 7,
+    }
+    .to_json_line();
+    assert_eq!(
+        line,
+        r#"{"ev":"enter","name":"x","t_ns":1,"tid":2,"depth":3,"sid":8,"parent":7}"#
     );
     let line = Event::SpanExit {
         name: "x",
@@ -250,11 +266,12 @@ fn event_enter_exit_gauge_schema_is_stable() {
         tid: 2,
         depth: 3,
         dur_ns: 8,
+        sid: 7,
     }
     .to_json_line();
     assert_eq!(
         line,
-        r#"{"ev":"exit","name":"x","t_ns":9,"tid":2,"depth":3,"dur_ns":8}"#
+        r#"{"ev":"exit","name":"x","t_ns":9,"tid":2,"depth":3,"dur_ns":8,"sid":7}"#
     );
     let line = Event::Gauge {
         name: "g",
@@ -263,4 +280,115 @@ fn event_enter_exit_gauge_schema_is_stable() {
     }
     .to_json_line();
     assert_eq!(line, r#"{"ev":"gauge","name":"g","t_ns":4,"value":0.5}"#);
+}
+
+#[test]
+fn trace_context_attributes_cross_thread_children() {
+    let _guard = lock();
+    let events = record(|| {
+        let parent = obs::span("tc.parent");
+        assert_ne!(parent.sid(), 0);
+        let ctx = obs::TraceContext::current();
+        assert_eq!(ctx.parent_sid(), parent.sid());
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(move || {
+                    let _adopt = ctx.adopt();
+                    let _w = obs::span("tc.worker");
+                });
+            }
+        });
+        // A detached root on this thread after the parent closes.
+        drop(parent);
+        let _detached = obs::span("tc.detached");
+    });
+
+    let find = |name: &str| -> Vec<&Value> {
+        events
+            .iter()
+            .filter(|e| field_str(e, "ev") == "enter" && field_str(e, "name") == name)
+            .collect()
+    };
+    let parent_sid = field_num(find("tc.parent")[0], "sid");
+    let workers = find("tc.worker");
+    assert_eq!(workers.len(), 3);
+    for w in &workers {
+        assert_eq!(
+            field_num(w, "parent"),
+            parent_sid,
+            "worker adopts the spawning span as parent"
+        );
+        assert_ne!(field_num(w, "sid"), parent_sid, "sids stay unique");
+    }
+    assert!(
+        find("tc.parent")[0].get("parent").is_none(),
+        "top-level span has no parent field"
+    );
+    assert!(
+        find("tc.detached")[0].get("parent").is_none(),
+        "adoption does not leak outside the guard"
+    );
+
+    // Exits carry the sid of the span they close.
+    let worker_sids: Vec<f64> = workers.iter().map(|w| field_num(w, "sid")).collect();
+    for e in events
+        .iter()
+        .filter(|e| field_str(e, "ev") == "exit" && field_str(e, "name") == "tc.worker")
+    {
+        assert!(worker_sids.contains(&field_num(e, "sid")));
+    }
+}
+
+#[test]
+fn flight_recorder_captures_without_recorder_and_dumps() {
+    let _guard = lock();
+    obs::uninstall();
+    obs::flight::clear();
+    obs::flight::enable(64);
+    {
+        let _a = obs::span("fl.outer");
+        let _b = obs::span("fl.inner");
+        obs::gauge("fl.gauge").set(2.5);
+    }
+    let (events, _dropped) = obs::flight::snapshot();
+    let names: Vec<&str> = events.iter().map(|e| e.name).collect();
+    assert!(names.contains(&"fl.outer"));
+    assert!(names.contains(&"fl.inner"));
+    assert!(names.contains(&"fl.gauge"));
+    let inner = events
+        .iter()
+        .find(|e| e.name == "fl.inner" && e.kind == obs::flight::FlightKind::Enter)
+        .unwrap();
+    let outer = events
+        .iter()
+        .find(|e| e.name == "fl.outer" && e.kind == obs::flight::FlightKind::Enter)
+        .unwrap();
+    assert_eq!(inner.parent, outer.sid, "flight entries keep trace context");
+
+    // Ring capacity bounds retention; the snapshot reports the overwrites.
+    for _ in 0..200 {
+        let _s = obs::span("fl.wrap");
+    }
+    let (events, dropped) = obs::flight::snapshot();
+    assert!(events.len() <= 64, "per-thread ring stays bounded");
+    assert!(dropped > 0, "overwrites are reported");
+
+    // The dump is a parseable black box written atomically.
+    let dir = std::env::temp_dir().join("lori-obs-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("flight-{}.json", std::process::id()));
+    obs::flight::set_dump_path(&path);
+    let written = obs::flight::dump("unit").expect("dump path configured");
+    assert_eq!(written, path);
+    let doc = Value::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(doc.get("reason").and_then(Value::as_str), Some("unit"));
+    assert!(doc.get("events").and_then(Value::as_arr).is_some());
+
+    obs::flight::disable();
+    assert!(
+        obs::flight::dump("late").is_none(),
+        "disarmed dump is a no-op"
+    );
+    obs::flight::clear();
+    std::fs::remove_file(&path).ok();
 }

@@ -110,6 +110,10 @@ pub fn global() -> Parallelism {
 /// Each worker opens a `par.worker` obs span (a no-op unless a recorder is
 /// installed), so traces show the fan-out shape; metric counters touched
 /// inside `f` are process-global atomics and stay exact under parallelism.
+/// The caller's [`lori_obs::TraceContext`] is captured before the fan-out
+/// and adopted inside every worker, so worker spans are recorded as
+/// children of the span enclosing the `par_map` call rather than as
+/// orphan per-thread roots.
 ///
 /// # Panics
 ///
@@ -130,6 +134,9 @@ where
     let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
     let slots_ptr = SlotWriter::new(&mut slots);
+    // Captured once, outside the workers: every worker span becomes a
+    // child of the span open at the call site.
+    let ctx = lori_obs::TraceContext::current();
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
@@ -138,6 +145,7 @@ where
             let f = &f;
             let slots_ptr = &slots_ptr;
             handles.push(scope.spawn(move || {
+                let _ctx = ctx.adopt();
                 let _span = lori_obs::span("par.worker");
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -276,10 +284,14 @@ impl<R> RecoveredMap<R> {
 /// [`par_map`] with a panic-recovery policy.
 ///
 /// Under [`RecoveryPolicy::FailFast`] this is exactly [`par_map`] (and
-/// panics propagate). Under [`RecoveryPolicy::Quarantine`] panicking
-/// tasks are retried then quarantined; every retry increments the
-/// `fault.retried` obs counter and every quarantined task increments
-/// `fault.quarantined`, so run manifests record the blast radius.
+/// panics propagate). Under [`RecoveryPolicy::Quarantine`] every task
+/// increments the `fault.tasks` obs counter and panicking tasks are
+/// retried then quarantined; every retry increments `fault.retried` and
+/// every quarantined task increments `fault.quarantined`, so run
+/// manifests record the blast radius (and the derived
+/// `fault.quarantine_rate` = quarantined / tasks). A quarantine also
+/// dumps the [`lori_obs::flight`] recorder (when armed), leaving a black
+/// box of the events leading up to the failure.
 ///
 /// # Panics
 ///
@@ -303,6 +315,7 @@ where
     };
     let retried = lori_obs::counter("fault.retried");
     let quarantined = lori_obs::counter("fault.quarantined");
+    lori_obs::counter("fault.tasks").incr(items.len() as u64);
     let failures: Mutex<Vec<TaskFailure>> = Mutex::new(Vec::new());
     let results = par_map(par, items, |i, item| {
         let mut attempts = 0u32;
@@ -316,6 +329,9 @@ where
                         continue;
                     }
                     quarantined.incr(1);
+                    // Black-box the events that led here (no-op unless the
+                    // flight recorder is armed with a dump path).
+                    let _ = lori_obs::flight::dump("quarantine");
                     failures
                         .lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner)

@@ -112,11 +112,14 @@ fn cmd_profile(args: &[String]) -> Result<ExitCode, String> {
     write(&folded_path, prof.folded_text().as_bytes())?;
 
     println!(
-        "{name}: {} events on {} threads over {:.3} ms; {} span names",
+        "{name}: {} events on {} threads over {:.3} ms; {} span names, \
+         {} root tree(s), {} orphan(s)",
         prof.events,
         prof.threads,
         ms(prof.wall_ns),
-        prof.names.len()
+        prof.names.len(),
+        prof.roots,
+        prof.orphans
     );
     for hop in &prof.critical_path {
         println!(

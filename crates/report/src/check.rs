@@ -239,6 +239,17 @@ fn check_events(events_text: &str, wall_ms: Option<f64>, report: &mut CheckRepor
                 parsed.threads,
                 parsed.roots.len()
             ));
+            if parsed.orphans.is_empty() {
+                report.pass("trace context intact (no orphan spans)");
+            } else {
+                for o in &parsed.orphans {
+                    report.fail(format!(
+                        "orphan span '{}' (tid {}, sid {}, line {}): parent sid {} \
+                         never appears in the stream — trace-context propagation broke",
+                        o.name, o.tid, o.sid, o.line, o.parent
+                    ));
+                }
+            }
             if let Some(w) = wall_ms.filter(|w| w.is_finite() && *w > 0.0) {
                 let extent_ms = dur_ms(parsed.wall_ns());
                 let limit = w * (1.0 + WALL_SLACK_REL) + WALL_SLACK_ABS_MS;
@@ -402,6 +413,67 @@ mod tests {
         let report = check_run(&dir, "exp-unit").unwrap();
         assert!(!report.ok());
         assert!(report.failures.iter().any(|f| f.contains("still open")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn check_run_fails_on_orphan_spans() {
+        // Regression fixture for broken trace-context propagation: a
+        // worker-thread span names a parent sid that never appears.
+        let dir = std::env::temp_dir().join(format!("lori-report-orphan-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("exp-unit.manifest.json"),
+            manifest(7.6, 1.0).to_json(),
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("exp-unit.events.jsonl"),
+            concat!(
+                "{\"ev\":\"enter\",\"name\":\"sweep\",\"t_ns\":0,\"tid\":0,\"depth\":0,\"sid\":3}\n",
+                "{\"ev\":\"enter\",\"name\":\"par.worker\",\"t_ns\":10,\"tid\":1,\"depth\":0,\"sid\":4,\"parent\":77}\n",
+                "{\"ev\":\"exit\",\"name\":\"par.worker\",\"t_ns\":500,\"tid\":1,\"depth\":0,\"dur_ns\":490,\"sid\":4}\n",
+                "{\"ev\":\"exit\",\"name\":\"sweep\",\"t_ns\":1000,\"tid\":0,\"depth\":0,\"dur_ns\":1000,\"sid\":3}\n",
+            ),
+        )
+        .unwrap();
+        let report = check_run(&dir, "exp-unit").unwrap();
+        assert!(!report.ok());
+        assert!(
+            report.failures.iter().any(|f| f.contains("orphan span")
+                && f.contains("par.worker")
+                && f.contains("parent sid 77")),
+            "failures: {:?}",
+            report.failures
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clean_stream_passes_trace_context_check() {
+        let dir = std::env::temp_dir().join(format!("lori-report-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("exp-unit.manifest.json"),
+            manifest(7.6, 1.0).to_json(),
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("exp-unit.events.jsonl"),
+            concat!(
+                "{\"ev\":\"enter\",\"name\":\"sweep\",\"t_ns\":0,\"tid\":0,\"depth\":0,\"sid\":3}\n",
+                "{\"ev\":\"enter\",\"name\":\"par.worker\",\"t_ns\":10,\"tid\":1,\"depth\":0,\"sid\":4,\"parent\":3}\n",
+                "{\"ev\":\"exit\",\"name\":\"par.worker\",\"t_ns\":500,\"tid\":1,\"depth\":0,\"dur_ns\":490,\"sid\":4}\n",
+                "{\"ev\":\"exit\",\"name\":\"sweep\",\"t_ns\":1000,\"tid\":0,\"depth\":0,\"dur_ns\":1000,\"sid\":3}\n",
+            ),
+        )
+        .unwrap();
+        let report = check_run(&dir, "exp-unit").unwrap();
+        assert!(report.ok(), "failures: {:?}", report.failures);
+        assert!(report
+            .passed
+            .iter()
+            .any(|p| p.contains("trace context intact")));
         std::fs::remove_dir_all(&dir).ok();
     }
 

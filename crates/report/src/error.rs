@@ -59,6 +59,19 @@ pub enum ReportError {
         /// Depth recorded in the event.
         found: u64,
     },
+    /// A span exit names a span id different from the span it closes.
+    SpanIdMismatch {
+        /// 1-based line number.
+        line: usize,
+        /// Thread index of the event.
+        tid: u64,
+        /// The exiting span's name.
+        name: String,
+        /// Span id of the open span being closed (0 = recorded without one).
+        expected: u64,
+        /// Span id the exit event carried.
+        found: u64,
+    },
     /// Timestamps ran backwards within one thread's stream.
     NonMonotonic {
         /// 1-based line number.
@@ -124,6 +137,17 @@ impl fmt::Display for ReportError {
             } => write!(
                 f,
                 "line {line}: tid {tid} depth discontinuity: stack says {expected}, event says {found}"
+            ),
+            ReportError::SpanIdMismatch {
+                line,
+                tid,
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "line {line}: tid {tid} exit '{name}' carries sid {found} \
+                 but the open span has sid {expected}"
             ),
             ReportError::NonMonotonic {
                 line,

@@ -4,12 +4,14 @@
 //! `.manifest.json`, and `BENCH_*.json` artifacts, and this crate turns
 //! them back into answers. Three pieces, all on `std` only:
 //!
-//! 1. **Profiling** ([`profile`]): reconstructs per-thread span trees from
-//!    an event stream — validating nesting, depths, and timestamp
-//!    monotonicity as it goes — and aggregates per-span-name wall/self
-//!    time, call counts, p50/p95/max durations, the critical path, and
-//!    flamegraph folded stacks. Deterministic: same input, byte-identical
-//!    output.
+//! 1. **Profiling** ([`profile`]): reconstructs span trees from an event
+//!    stream — validating nesting, depths, span ids, and timestamp
+//!    monotonicity as it goes — then stitches worker-thread trees under
+//!    their recorded parent spans via trace-context ids, so a parallel
+//!    sweep profiles as one causal tree. Aggregates per-span-name
+//!    wall/self time, call counts, p50/p95/max durations, the critical
+//!    path (which may cross threads), and flamegraph folded stacks.
+//!    Deterministic: same input, byte-identical output.
 //! 2. **Diffing & gating** ([`diff`]): flattens two JSON records to
 //!    dotted-path metric maps and compares them; with `--gate <pct>` it
 //!    fails on wall-time or throughput regressions past the threshold,
@@ -17,8 +19,9 @@
 //!    machines are not comparable.
 //! 3. **Sanity checks** ([`check`]): scans a manifest and its event stream
 //!    for values that cannot be true — non-finite metrics, phase times
-//!    exceeding the run's wall time, unbalanced event streams, and
-//!    counters implying physically impossible event rates.
+//!    exceeding the run's wall time, unbalanced event streams, orphan
+//!    spans whose recorded parent never appears (broken trace-context
+//!    propagation), and counters implying physically impossible rates.
 //!
 //! The `lori-report` binary exposes all three as subcommands
 //! (`profile <name>`, `diff <base> <cur> [--gate <pct>]`, `check <name>`).
@@ -33,7 +36,7 @@ pub mod profile;
 pub use check::{check_run, CheckReport};
 pub use diff::{diff, flatten, DiffReport};
 pub use error::ReportError;
-pub use profile::{build_profile, parse_events, ParsedEvents, Profile, SpanNode};
+pub use profile::{build_profile, parse_events, OrphanSpan, ParsedEvents, Profile, SpanNode};
 
 use std::path::{Path, PathBuf};
 

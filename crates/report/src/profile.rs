@@ -11,6 +11,16 @@
 //! byte-identical `.profile.json` and `.folded` artifacts. All aggregation
 //! uses `BTreeMap`s and insertion-ordered JSON objects; nothing depends on
 //! wall clocks, hashing, or iteration order.
+//!
+//! Streams recorded by current `lori-obs` carry span ids (`sid`) and
+//! parent ids: after per-thread reconstruction, thread-root spans whose
+//! recorded parent lives on another thread are *adopted* under that parent,
+//! so a parallel sweep profiles as one causally-connected tree instead of
+//! one disconnected tree per worker thread. A nonzero parent sid that never
+//! appears in the stream is an [`OrphanSpan`] — broken trace-context
+//! propagation that `lori-report check` reports as a failure. Streams
+//! without sids (older recorders) parse exactly as before: every id
+//! defaults to 0 and no adoption happens.
 
 use crate::error::ReportError;
 use lori_obs::{Histogram, Value};
@@ -29,20 +39,48 @@ pub struct SpanNode {
     pub t0_ns: u64,
     /// Wall duration in nanoseconds.
     pub dur_ns: u64,
-    /// Completed child spans, in execution order.
+    /// Process-unique span id (0 in streams recorded without ids).
+    pub sid: u64,
+    /// Recorded parent span id (0 = root / no recorded parent).
+    pub parent: u64,
+    /// Completed child spans, ordered by enter time. May include spans
+    /// adopted from other threads via trace-context propagation.
     pub children: Vec<SpanNode>,
     /// 1-based line the enter event was read from.
     pub line: usize,
 }
 
 impl SpanNode {
-    /// Duration minus the duration of direct children (clamped at zero:
-    /// clock granularity can make children sum slightly past the parent).
+    /// Duration minus the duration of direct *same-thread* children
+    /// (clamped at zero: clock granularity can make children sum slightly
+    /// past the parent). Children adopted from other threads ran
+    /// concurrently with this span, so their time is not subtracted.
     #[must_use]
     pub fn self_ns(&self) -> u64 {
-        let children: u64 = self.children.iter().map(|c| c.dur_ns).sum();
+        let children: u64 = self
+            .children
+            .iter()
+            .filter(|c| c.tid == self.tid)
+            .map(|c| c.dur_ns)
+            .sum();
         self.dur_ns.saturating_sub(children)
     }
+}
+
+/// A span whose recorded parent id never appears in the stream: evidence
+/// of broken trace-context propagation (or a truncated stream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrphanSpan {
+    /// Span name.
+    pub name: String,
+    /// Thread index that ran it.
+    pub tid: u64,
+    /// The span's own id.
+    pub sid: u64,
+    /// The parent id that could not be resolved.
+    pub parent: u64,
+    /// 1-based line its enter event was read from.
+    pub line: usize,
 }
 
 /// A fully parsed and validated event stream.
@@ -52,8 +90,13 @@ pub struct ParsedEvents {
     pub events: usize,
     /// Gauge events among them.
     pub gauges: usize,
-    /// Completed root spans (depth 0) across all threads, in stream order.
+    /// Completed span trees after cross-thread adoption, ordered by enter
+    /// time (ties break by thread index, then sid, then line).
     pub roots: Vec<SpanNode>,
+    /// Spans whose recorded parent id never appeared in the stream. They
+    /// remain listed in [`ParsedEvents::roots`]; a non-empty list means
+    /// trace-context propagation broke somewhere.
+    pub orphans: Vec<OrphanSpan>,
     /// Distinct thread indices seen.
     pub threads: usize,
     /// Earliest timestamp in the stream.
@@ -70,13 +113,31 @@ impl ParsedEvents {
     }
 }
 
-/// An open span on a thread's reconstruction stack.
+/// An open span on a thread's reconstruction stack. Children are indices
+/// into the completed-span arena.
 struct OpenSpan {
     name: String,
     depth: u64,
     t0_ns: u64,
     line: usize,
-    children: Vec<SpanNode>,
+    sid: u64,
+    parent: u64,
+    children: Vec<usize>,
+}
+
+/// A completed span in the flat arena, children as arena indices. Kept
+/// flat until all threads are parsed so cross-thread adoption is a cheap
+/// index edit instead of a tree surgery.
+struct ArenaNode {
+    name: String,
+    tid: u64,
+    depth: u64,
+    t0_ns: u64,
+    dur_ns: u64,
+    sid: u64,
+    parent: u64,
+    line: usize,
+    children: Vec<usize>,
 }
 
 /// Per-thread reconstruction state.
@@ -93,10 +154,12 @@ struct ThreadState {
 /// Returns the first structural defect found, with its 1-based line
 /// number: invalid JSON, missing fields, unknown event kinds, unbalanced
 /// or misnested enter/exit pairs, depth discontinuities, per-thread
-/// timestamp regressions, and spans left open at end of stream.
+/// timestamp regressions, span-id disagreements between an enter and its
+/// exit, and spans left open at end of stream.
 pub fn parse_events(text: &str) -> Result<ParsedEvents, ReportError> {
     let mut threads: BTreeMap<u64, ThreadState> = BTreeMap::new();
-    let mut roots = Vec::new();
+    let mut arena: Vec<ArenaNode> = Vec::new();
+    let mut thread_roots: Vec<usize> = Vec::new();
     let mut events = 0usize;
     let mut gauges = 0usize;
     let mut first_ns = u64::MAX;
@@ -150,6 +213,8 @@ pub fn parse_events(text: &str) -> Result<ParsedEvents, ReportError> {
                         depth,
                         t0_ns: t_ns,
                         line,
+                        sid: optional_u64(&value, "sid", line)?,
+                        parent: optional_u64(&value, "parent", line)?,
                         children: Vec::new(),
                     });
                 } else {
@@ -178,6 +243,22 @@ pub fn parse_events(text: &str) -> Result<ParsedEvents, ReportError> {
                             found: depth,
                         });
                     }
+                    // An exit that names a span id must name the id of the
+                    // span it closes; anything else means interleaved or
+                    // corrupt recording.
+                    if value.get("sid").is_some() {
+                        let found = require_u64(&value, "sid", line)?;
+                        let expected = state.stack.last().expect("non-empty checked above").sid;
+                        if found != expected {
+                            return Err(ReportError::SpanIdMismatch {
+                                line,
+                                tid,
+                                name: name.to_owned(),
+                                expected,
+                                found,
+                            });
+                        }
+                    }
                     let open = state.stack.pop().expect("non-empty checked above");
                     // Prefer the recorded duration (measured by the span
                     // itself); fall back to exit − enter timestamps.
@@ -186,18 +267,21 @@ pub fn parse_events(text: &str) -> Result<ParsedEvents, ReportError> {
                         _ => t_ns.saturating_sub(open.t0_ns),
                     };
                     last_ns = last_ns.max(open.t0_ns.saturating_add(dur_ns));
-                    let node = SpanNode {
+                    let idx = arena.len();
+                    arena.push(ArenaNode {
                         name: open.name,
                         tid,
                         depth: open.depth,
                         t0_ns: open.t0_ns,
                         dur_ns,
-                        children: open.children,
+                        sid: open.sid,
+                        parent: open.parent,
                         line: open.line,
-                    };
+                        children: open.children,
+                    });
                     match state.stack.last_mut() {
-                        Some(parent) => parent.children.push(node),
-                        None => roots.push(node),
+                        Some(parent) => parent.children.push(idx),
+                        None => thread_roots.push(idx),
                     }
                 }
             }
@@ -223,14 +307,139 @@ pub fn parse_events(text: &str) -> Result<ParsedEvents, ReportError> {
     if events == 0 {
         first_ns = 0;
     }
+    let (roots, orphans) = link_trees(arena, &thread_roots);
     Ok(ParsedEvents {
         events,
         gauges,
         roots,
+        orphans,
         threads: threads.len(),
         first_ns,
         last_ns,
     })
+}
+
+/// Resolves cross-thread parent links over the completed-span arena and
+/// materializes the final [`SpanNode`] trees.
+///
+/// Thread-root spans with a nonzero recorded parent are adopted under the
+/// arena node carrying that sid; an unresolvable (or self-referential)
+/// parent makes the span an [`OrphanSpan`] and it stays a top-level root.
+/// Adoption edges from forged or truncated streams can form cycles that
+/// detach whole trees from every top-level root; those are re-rooted (in
+/// stream order) and reported as orphans too, so no recorded span is ever
+/// silently dropped.
+fn link_trees(
+    mut arena: Vec<ArenaNode>,
+    thread_roots: &[usize],
+) -> (Vec<SpanNode>, Vec<OrphanSpan>) {
+    let mut by_sid: BTreeMap<u64, usize> = BTreeMap::new();
+    for (idx, node) in arena.iter().enumerate() {
+        if node.sid != 0 {
+            by_sid.entry(node.sid).or_insert(idx);
+        }
+    }
+
+    let mut top: Vec<usize> = Vec::new();
+    let mut orphans: Vec<OrphanSpan> = Vec::new();
+    let mut adoptions: Vec<(usize, usize)> = Vec::new();
+    for &idx in thread_roots {
+        let node = &arena[idx];
+        if node.parent == 0 {
+            top.push(idx);
+            continue;
+        }
+        match by_sid.get(&node.parent) {
+            Some(&pi) if pi != idx => adoptions.push((pi, idx)),
+            _ => {
+                orphans.push(orphan_of(&arena[idx]));
+                top.push(idx);
+            }
+        }
+    }
+
+    let mut adopters: Vec<usize> = Vec::new();
+    for &(pi, ci) in &adoptions {
+        arena[pi].children.push(ci);
+        adopters.push(pi);
+    }
+    adopters.sort_unstable();
+    adopters.dedup();
+    // Same-thread children arrive in enter order already (per-thread spans
+    // nest, so sibling exit order equals enter order); sorting by enter
+    // time interleaves adopted children deterministically among them.
+    for pi in adopters {
+        let mut children = std::mem::take(&mut arena[pi].children);
+        children.sort_by_key(|&c| (arena[c].t0_ns, arena[c].tid, arena[c].sid, arena[c].line));
+        arena[pi].children = children;
+    }
+
+    // Re-root anything an adoption cycle detached from every top root.
+    let mut reachable = vec![false; arena.len()];
+    mark_reachable(&arena, &top, &mut reachable);
+    for &idx in thread_roots {
+        if reachable[idx] {
+            continue;
+        }
+        orphans.push(orphan_of(&arena[idx]));
+        let parent = arena[idx].parent;
+        if let Some(&pi) = by_sid.get(&parent) {
+            arena[pi].children.retain(|&c| c != idx);
+        }
+        top.push(idx);
+        mark_reachable(&arena, &[idx], &mut reachable);
+    }
+
+    top.sort_by_key(|&i| (arena[i].t0_ns, arena[i].tid, arena[i].sid, arena[i].line));
+    orphans.sort_by_key(|o| o.line);
+
+    let mut slots: Vec<Option<ArenaNode>> = arena.into_iter().map(Some).collect();
+    let roots = top.iter().map(|&i| materialize(&mut slots, i)).collect();
+    (roots, orphans)
+}
+
+fn orphan_of(node: &ArenaNode) -> OrphanSpan {
+    OrphanSpan {
+        name: node.name.clone(),
+        tid: node.tid,
+        sid: node.sid,
+        parent: node.parent,
+        line: node.line,
+    }
+}
+
+/// Marks every arena index reachable from `from` through child edges.
+fn mark_reachable(arena: &[ArenaNode], from: &[usize], seen: &mut [bool]) {
+    let mut stack: Vec<usize> = from.to_vec();
+    while let Some(i) = stack.pop() {
+        if seen[i] {
+            continue;
+        }
+        seen[i] = true;
+        stack.extend_from_slice(&arena[i].children);
+    }
+}
+
+/// Converts one arena subtree into an owned [`SpanNode`] tree. Each slot
+/// is consumed exactly once: after `link_trees` every node is reachable
+/// from exactly one top-level root.
+fn materialize(slots: &mut [Option<ArenaNode>], idx: usize) -> SpanNode {
+    let node = slots[idx].take().expect("arena node consumed exactly once");
+    SpanNode {
+        name: node.name,
+        tid: node.tid,
+        depth: node.depth,
+        t0_ns: node.t0_ns,
+        dur_ns: node.dur_ns,
+        sid: node.sid,
+        parent: node.parent,
+        line: node.line,
+        children: node
+            .children
+            .into_iter()
+            .map(|c| materialize(slots, c))
+            .collect(),
+    }
 }
 
 /// Aggregate statistics for one span name.
@@ -274,12 +483,17 @@ pub struct Profile {
     pub gauges: usize,
     /// Distinct threads.
     pub threads: usize,
+    /// Top-level span trees after cross-thread adoption.
+    pub roots: usize,
+    /// Spans with unresolvable parent ids (0 on a healthy stream).
+    pub orphans: usize,
     /// Stream extent in nanoseconds.
     pub wall_ns: u64,
     /// Per-name aggregates, sorted by name.
     pub names: BTreeMap<String, NameStats>,
     /// The longest chain of nested spans: the longest root, then its
-    /// longest child, and so on to a leaf. Ties break toward the earliest
+    /// longest child, and so on to a leaf. Adopted children participate,
+    /// so the path can cross threads. Ties break toward the earliest
     /// enter time, then the lowest thread index — deterministically.
     pub critical_path: Vec<CriticalHop>,
     /// Folded-stack self times: `"root;child;leaf" -> self_ns`, summed
@@ -368,6 +582,8 @@ pub fn build_profile(exp: &str, parsed: &ParsedEvents) -> Profile {
         events: parsed.events,
         gauges: parsed.gauges,
         threads: parsed.threads,
+        roots: parsed.roots.len(),
+        orphans: parsed.orphans.len(),
         wall_ns: parsed.wall_ns(),
         names,
         critical_path: critical_path(&parsed.roots),
@@ -440,6 +656,8 @@ impl Profile {
             ("events".to_owned(), Value::from(self.events as u64)),
             ("gauges".to_owned(), Value::from(self.gauges as u64)),
             ("threads".to_owned(), Value::from(self.threads as u64)),
+            ("roots".to_owned(), Value::from(self.roots as u64)),
+            ("orphans".to_owned(), Value::from(self.orphans as u64)),
             ("wall_ns".to_owned(), Value::from(self.wall_ns)),
             ("spans".to_owned(), Value::Obj(names)),
             ("critical_path".to_owned(), Value::Arr(critical)),
@@ -488,6 +706,15 @@ fn require_u64(value: &Value, field: &'static str, line: usize) -> Result<u64, R
         return Err(ReportError::MissingField { line, field });
     }
     Ok(as_u64(v))
+}
+
+/// An optional non-negative integer member: absent parses as 0 (streams
+/// recorded before span ids existed), present-but-malformed is an error.
+fn optional_u64(value: &Value, field: &'static str, line: usize) -> Result<u64, ReportError> {
+    if value.get(field).is_none() {
+        return Ok(0);
+    }
+    require_u64(value, field, line)
 }
 
 /// `f64 -> u64` for values already validated non-negative and finite.
@@ -585,6 +812,123 @@ mod tests {
         let p2 = build_profile("unit", &parse_events(&text).unwrap());
         assert_eq!(p1.to_value().to_json(), p2.to_value().to_json());
         assert_eq!(p1.folded_text(), p2.folded_text());
+    }
+
+    #[test]
+    fn adopts_worker_roots_under_parent_by_sid() {
+        // tid 0 runs "par.map" (sid 5); two workers on tids 1 and 2 record
+        // roots with parent 5. The profile must be ONE tree.
+        let text = stream(&[
+            r#""ev":"enter","name":"par.map","t_ns":100,"tid":0,"depth":0,"sid":5"#,
+            r#""ev":"enter","name":"par.worker","t_ns":110,"tid":1,"depth":0,"sid":6,"parent":5"#,
+            r#""ev":"enter","name":"par.worker","t_ns":120,"tid":2,"depth":0,"sid":7,"parent":5"#,
+            r#""ev":"exit","name":"par.worker","t_ns":300,"tid":1,"depth":0,"dur_ns":190,"sid":6"#,
+            r#""ev":"exit","name":"par.worker","t_ns":320,"tid":2,"depth":0,"dur_ns":200,"sid":7"#,
+            r#""ev":"exit","name":"par.map","t_ns":400,"tid":0,"depth":0,"dur_ns":300,"sid":5"#,
+        ]);
+        let parsed = parse_events(&text).unwrap();
+        assert!(parsed.orphans.is_empty());
+        assert_eq!(parsed.roots.len(), 1, "workers adopted into one tree");
+        let root = &parsed.roots[0];
+        assert_eq!(root.name, "par.map");
+        assert_eq!(root.children.len(), 2);
+        // Adopted children ordered by enter time.
+        assert_eq!(root.children[0].sid, 6);
+        assert_eq!(root.children[1].sid, 7);
+        assert_eq!(root.children[0].parent, 5);
+        // Cross-thread children are concurrent: parent keeps its own wall
+        // time as self time.
+        assert_eq!(root.self_ns(), 300);
+
+        let profile = build_profile("unit", &parsed);
+        assert_eq!(profile.roots, 1);
+        assert_eq!(profile.orphans, 0);
+        // Folded stacks now cross the thread boundary.
+        assert_eq!(profile.folded["par.map;par.worker"], 190 + 200);
+        // Critical path descends into the adopted worker on tid 2.
+        let path: Vec<(&str, u64)> = profile
+            .critical_path
+            .iter()
+            .map(|h| (h.name.as_str(), h.tid))
+            .collect();
+        assert_eq!(path, [("par.map", 0), ("par.worker", 2)]);
+    }
+
+    #[test]
+    fn unresolvable_parent_sid_is_an_orphan() {
+        let text = stream(&[
+            r#""ev":"enter","name":"lost","t_ns":10,"tid":3,"depth":0,"sid":9,"parent":999"#,
+            r#""ev":"exit","name":"lost","t_ns":20,"tid":3,"depth":0,"dur_ns":10,"sid":9"#,
+        ]);
+        let parsed = parse_events(&text).unwrap();
+        assert_eq!(parsed.roots.len(), 1, "orphan stays listed as a root");
+        assert_eq!(
+            parsed.orphans,
+            vec![OrphanSpan {
+                name: "lost".to_owned(),
+                tid: 3,
+                sid: 9,
+                parent: 999,
+                line: 1,
+            }]
+        );
+        let profile = build_profile("unit", &parsed);
+        assert_eq!(profile.orphans, 1);
+    }
+
+    #[test]
+    fn rejects_exit_sid_disagreeing_with_enter() {
+        let text = stream(&[
+            r#""ev":"enter","name":"run","t_ns":0,"tid":0,"depth":0,"sid":4"#,
+            r#""ev":"exit","name":"run","t_ns":9,"tid":0,"depth":0,"dur_ns":9,"sid":8"#,
+        ]);
+        match parse_events(&text) {
+            Err(ReportError::SpanIdMismatch {
+                line: 2,
+                expected: 4,
+                found: 8,
+                ..
+            }) => {}
+            other => panic!("expected SpanIdMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adoption_cycle_is_rerooted_not_lost() {
+        // Forged stream: two roots each naming the other as parent. Both
+        // must surface as orphaned roots rather than vanish or recurse.
+        let text = stream(&[
+            r#""ev":"enter","name":"a","t_ns":0,"tid":0,"depth":0,"sid":1,"parent":2"#,
+            r#""ev":"exit","name":"a","t_ns":5,"tid":0,"depth":0,"dur_ns":5,"sid":1"#,
+            r#""ev":"enter","name":"b","t_ns":1,"tid":1,"depth":0,"sid":2,"parent":1"#,
+            r#""ev":"exit","name":"b","t_ns":6,"tid":1,"depth":0,"dur_ns":5,"sid":2"#,
+        ]);
+        let parsed = parse_events(&text).unwrap();
+        let mut names = Vec::new();
+        fn collect(node: &SpanNode, names: &mut Vec<String>) {
+            names.push(node.name.clone());
+            for c in &node.children {
+                collect(c, names);
+            }
+        }
+        for root in &parsed.roots {
+            collect(root, &mut names);
+        }
+        names.sort();
+        assert_eq!(names, ["a", "b"], "no span silently dropped");
+        assert!(!parsed.orphans.is_empty());
+    }
+
+    #[test]
+    fn sidless_streams_parse_with_zero_ids() {
+        let text = stream(&[
+            r#""ev":"enter","name":"run","t_ns":0,"tid":0,"depth":0"#,
+            r#""ev":"exit","name":"run","t_ns":9,"tid":0,"depth":0,"dur_ns":9"#,
+        ]);
+        let parsed = parse_events(&text).unwrap();
+        assert_eq!(parsed.roots[0].sid, 0);
+        assert_eq!(parsed.roots[0].parent, 0);
+        assert!(parsed.orphans.is_empty());
     }
 
     #[test]

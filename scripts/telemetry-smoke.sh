@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Telemetry-plane smoke: run exp-fig5 with a live LORI_TELEMETRY endpoint,
+# scrape it mid-run, and prove the plane is (a) well-formed, (b) monotone,
+# and (c) invisible — the data artifact is byte-identical to a run without
+# the endpoint, and the disabled-endpoint tax stays under 2%.
+#
+# Usage: scripts/telemetry-smoke.sh
+# Requires: cargo, python3. Runs from the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Enough Monte Carlo runs that the sweep lasts several seconds — the WAL
+# fingerprint includes the run count, so neither run resumes stale points.
+RUNS="${LORI_SMOKE_RUNS:-200000}"
+THREADS="${LORI_THREADS:-2}"
+
+cargo build --release -p lori-bench
+
+echo "== baseline run (no telemetry endpoint)"
+rm -rf results-telemetry-off results-telemetry-on
+LORI_RUNS="$RUNS" LORI_THREADS="$THREADS" \
+  LORI_RESULTS_DIR=results-telemetry-off ./target/release/exp-fig5
+
+echo "== observed run (LORI_TELEMETRY=127.0.0.1:0, scraped mid-run)"
+LORI_RUNS="$RUNS" LORI_THREADS="$THREADS" LORI_TELEMETRY=127.0.0.1:0 \
+  LORI_RESULTS_DIR=results-telemetry-on ./target/release/exp-fig5 \
+  2>telemetry-smoke.stderr &
+RUN_PID=$!
+trap 'kill "$RUN_PID" 2>/dev/null || true' EXIT
+
+# The harness prints the bound ephemeral port on stderr once the endpoint
+# is up: "telemetry: listening on 127.0.0.1:PORT".
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^telemetry: listening on //p' telemetry-smoke.stderr | head -n1)
+  [ -n "$ADDR" ] && break
+  if ! kill -0 "$RUN_PID" 2>/dev/null; then
+    echo "run exited before the telemetry endpoint came up" >&2
+    cat telemetry-smoke.stderr >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+  echo "telemetry endpoint never announced its address" >&2
+  cat telemetry-smoke.stderr >&2
+  exit 1
+fi
+echo "endpoint: $ADDR"
+
+# Two spaced scrapes while the sweep is still running; python asserts the
+# output is well-formed and progress moved forward, never backward.
+python3 - "$ADDR" <<'PY'
+import json, sys, time, urllib.request
+
+addr = sys.argv[1]
+
+def get(path):
+    with urllib.request.urlopen(f"http://{addr}{path}", timeout=10) as r:
+        assert r.status == 200, f"{path}: HTTP {r.status}"
+        return r.read().decode()
+
+def sweep_done(metrics):
+    for line in metrics.splitlines():
+        if line.startswith('lori_progress_done{phase="lori_sweep"}'):
+            return int(line.rsplit(" ", 1)[1])
+    raise AssertionError("no lori_progress_done{phase=\"lori_sweep\"} series:\n" + metrics)
+
+def check_metrics(metrics):
+    assert "# TYPE lori_uptime_seconds gauge" in metrics, metrics
+    assert "# TYPE lori_telemetry_scrapes counter" in metrics, metrics
+    for line in metrics.splitlines():
+        if line.startswith("#"):
+            continue
+        name, value = line.rsplit(" ", 1)
+        assert name.startswith("lori_"), f"unprefixed metric: {line}"
+        float(value)  # every sample parses as a number
+
+m1 = get("/metrics")
+check_metrics(m1)
+s1 = json.loads(get("/status"))
+assert s1["run"] == "exp-fig5", s1
+assert "cache" in s1 and "fault" in s1 and "progress" in s1, s1
+time.sleep(1.0)
+m2 = get("/metrics")
+check_metrics(m2)
+s2 = json.loads(get("/status"))
+
+d1, d2 = sweep_done(m1), sweep_done(m2)
+assert 0 <= d1 <= d2, f"progress went backwards: {d1} -> {d2}"
+assert s2["scrapes"] > s1["scrapes"], "scrape counter did not advance"
+assert s2["uptime_ms"] >= s1["uptime_ms"], "uptime went backwards"
+print(f"mid-run scrapes OK: sweep progress {d1} -> {d2}, scrapes {s1['scrapes']} -> {s2['scrapes']}")
+PY
+
+wait "$RUN_PID"
+trap - EXIT
+
+echo "== bit-identity: telemetry on vs off"
+cmp results-telemetry-off/exp-fig5.points.json \
+    results-telemetry-on/exp-fig5.points.json
+echo "points artifact byte-identical"
+
+echo "== disabled-endpoint overhead gate (<2%)"
+LORI_BENCH_SMOKE=1 LORI_RESULTS_DIR="$PWD/results" \
+  cargo bench -p lori-bench --bench obs_overhead
+python3 - <<'PY'
+import json
+doc = json.load(open("results/BENCH_obs.json"))
+pct = doc["overhead_pct"]
+base = doc["baseline"]["wall_s"]
+armed = doc["telemetry_disabled"]["wall_s"]
+print(f"baseline {base:.6f}s, telemetry-disabled {armed:.6f}s, overhead {pct:+.3f}%")
+assert pct < 2.0, f"disabled-endpoint tax {pct:.3f}% exceeds the 2% budget"
+PY
+
+echo "telemetry smoke: all checks passed"
