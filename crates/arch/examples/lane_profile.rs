@@ -1,0 +1,107 @@
+//! Profiling harness for the lane engine: per-workload scalar-vs-lane
+//! wall time on a fixed random campaign, plus the trial-cycle breakdown
+//! (hangs, crashes, long wanderers) that explains where the time goes.
+//! Asserts scalar/lane outcome equality on every workload as it runs.
+//!
+//! ```sh
+//! cargo run --release -p lori-arch --example lane_profile
+//! ```
+use lori_arch::cpu::{run_golden, Cpu, CpuConfig, Protection};
+use lori_arch::fault::{classify, run_with_fault, FaultSpec, FaultTarget, Outcome};
+use lori_arch::isa::{Reg, NUM_REGS};
+use lori_arch::lane::run_fault_block;
+use lori_arch::workload;
+use lori_core::Rng;
+use std::time::Instant;
+
+fn main() {
+    let config = CpuConfig::default();
+    for program in workload::all() {
+        let golden = run_golden(&program, &config);
+        let protection = Protection::none();
+        let mut rng = Rng::from_seed(2);
+        let specs: Vec<FaultSpec> = (0..64)
+            .map(|_| FaultSpec {
+                target: FaultTarget::Register {
+                    reg: Reg::new(rng.below(NUM_REGS as u64) as u8).unwrap(),
+                    bit: rng.below(32) as u8,
+                },
+                cycle: rng.below(golden.cycles.max(1)),
+            })
+            .collect();
+
+        // Setup-only cost: 64 Cpu::new + finish, no stepping.
+        let t0 = Instant::now();
+        for _ in 0..64 {
+            let cpu = Cpu::new(&program, &config);
+            std::hint::black_box(&cpu);
+        }
+        let t_setup = t0.elapsed();
+
+        // Instrumented scalar pass: record executed cycles per trial.
+        let mut trial_cycles: Vec<u64> = Vec::with_capacity(64);
+        let t0 = Instant::now();
+        let scalar: Vec<Outcome> = specs
+            .iter()
+            .map(|fault| {
+                let mut cpu = Cpu::new(&program, &config);
+                let mut injected = false;
+                let mut executed: u64 = 0;
+                let result = loop {
+                    if !injected && executed >= fault.cycle {
+                        match fault.target {
+                            FaultTarget::Register { reg, bit } => cpu.flip_register_bit(reg, bit),
+                            FaultTarget::Pc { bit } => cpu.flip_pc_bit(bit),
+                            FaultTarget::Memory { addr, bit } => cpu.flip_memory_bit(addr, bit),
+                        }
+                        injected = true;
+                    }
+                    let info = cpu.step(&program, &protection);
+                    executed += 1;
+                    if let Some(stop) = info.stop {
+                        break cpu.finish(&program, stop);
+                    }
+                };
+                trial_cycles.push(executed);
+                classify(&result, &golden)
+            })
+            .collect();
+        let t_scalar_instr = t0.elapsed();
+
+        let t0 = Instant::now();
+        let scalar2: Vec<Outcome> = specs
+            .iter()
+            .map(|f| run_with_fault(&program, &config, &protection, &golden, f))
+            .collect();
+        let t_scalar = t0.elapsed();
+        assert_eq!(scalar, scalar2);
+
+        let t0 = Instant::now();
+        let lanes = run_fault_block(&program, &config, &protection, &golden, &specs);
+        let t_lane = t0.elapsed();
+        assert_eq!(scalar, lanes);
+
+        let hangs = scalar.iter().filter(|&&o| o == Outcome::Hang).count();
+        let crashes = scalar.iter().filter(|&&o| o == Outcome::Crash).count();
+        let masked = scalar.iter().filter(|&&o| o == Outcome::Masked).count();
+        let total_cycles: u64 = trial_cycles.iter().sum();
+        let long = trial_cycles
+            .iter()
+            .filter(|&&c| c > 4 * golden.cycles)
+            .count();
+        println!(
+            "{:<12} golden={:<6} scalar={:>10.3?} (instr {:>10.3?}, setup {:>9.3?}) lane={:>10.3?} speedup={:>5.1}x",
+            program.name,
+            golden.cycles,
+            t_scalar,
+            t_scalar_instr,
+            t_setup,
+            t_lane,
+            t_scalar.as_secs_f64() / t_lane.as_secs_f64(),
+        );
+        println!(
+            "             masked={masked} hangs={hangs} crashes={crashes} total_trial_cycles={total_cycles} long_trials={long} max_trial_cycles={}",
+            trial_cycles.iter().max().unwrap()
+        );
+    }
+}

@@ -155,6 +155,57 @@ impl Cpu {
         }
     }
 
+    /// Rebuilds a CPU mid-run from explicit architectural state. This is
+    /// the lane engine's detach path: a lane that diverges from the shared
+    /// reference trace materializes into a scalar CPU and runs the rest of
+    /// its trial alone (see `crate::lane`).
+    pub(crate) fn from_parts(
+        regs: [u32; NUM_REGS],
+        shadow: [u32; NUM_REGS],
+        pc: usize,
+        mem: Vec<u32>,
+        cycles: u64,
+        max_cycles: u64,
+    ) -> Self {
+        Cpu {
+            regs,
+            shadow,
+            pc,
+            mem,
+            cycles,
+            max_cycles,
+        }
+    }
+
+    /// The cycle budget this CPU was configured with.
+    pub(crate) fn max_cycles(&self) -> u64 {
+        self.max_cycles
+    }
+
+    /// Reads a shadow register.
+    pub(crate) fn shadow_reg(&self, r: Reg) -> u32 {
+        self.shadow[r.index()]
+    }
+
+    /// A snapshot of the shadow register file.
+    pub(crate) fn shadow_snapshot(&self) -> [u32; NUM_REGS] {
+        self.shadow
+    }
+
+    /// The full data memory.
+    pub(crate) fn mem_words(&self) -> &[u32] {
+        &self.mem
+    }
+
+    /// Teleports architectural state by an externally computed amount —
+    /// the loop accelerator's skip (see `crate::accel`). Shadow registers
+    /// are intentionally untouched: acceleration only runs with empty
+    /// protection, where shadow state is never read.
+    pub(crate) fn time_warp(&mut self, regs: [u32; NUM_REGS], cycles_delta: u64) {
+        self.regs = regs;
+        self.cycles += cycles_delta;
+    }
+
     /// The current cycle count.
     #[must_use]
     pub fn cycles(&self) -> u64 {
@@ -260,7 +311,7 @@ impl Cpu {
         // Compare sources at stores/branches when protection is active.
         if guard_active && (instr.is_store() || instr.is_branch()) {
             self.cycles += 1; // compare cost
-            for src in instr.sources() {
+            for src in instr.sources_fixed().into_iter().flatten() {
                 if self.regs[src.index()] != self.shadow[src.index()] {
                     return StepInfo {
                         instr_index: idx,

@@ -12,7 +12,10 @@
 use crate::cpu::{Cpu, CpuConfig, ExecResult, Protection, StopReason};
 use crate::error::ArchError;
 use crate::isa::{Program, Reg, NUM_REGS};
+use crate::lane;
 use lori_core::Rng;
+use lori_obs::progress::Progress;
+use lori_par::Parallelism;
 
 /// Where a fault lands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +74,20 @@ impl Outcome {
         Outcome::Hang,
         Outcome::Detected,
     ];
+
+    /// The outcome's position in [`Outcome::ALL`] — the tabulation index
+    /// used by [`OutcomeCounts`]. Constant-time; the per-trial hot path
+    /// must not scan.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            Outcome::Masked => 0,
+            Outcome::Sdc => 1,
+            Outcome::Crash => 2,
+            Outcome::Hang => 3,
+            Outcome::Detected => 4,
+        }
+    }
 
     /// Short label for reports.
     #[must_use]
@@ -153,15 +170,13 @@ pub struct OutcomeCounts {
 impl OutcomeCounts {
     /// Tallies one outcome.
     pub fn record(&mut self, o: Outcome) {
-        let i = Outcome::ALL.iter().position(|&k| k == o).expect("known");
-        self.counts[i] += 1;
+        self.counts[o.index()] += 1;
     }
 
     /// The count for one outcome kind.
     #[must_use]
     pub fn count(&self, o: Outcome) -> usize {
-        let i = Outcome::ALL.iter().position(|&k| k == o).expect("known");
-        self.counts[i]
+        self.counts[o.index()]
     }
 
     /// Total trials recorded.
@@ -204,6 +219,10 @@ pub struct Campaign {
 
 /// Runs `n` random register-bit injections at uniformly random cycles.
 ///
+/// Trials run on the lane engine at the `LORI_LANES` width across the
+/// process-global worker pool; results are bit-identical for any width and
+/// worker count (see [`crate::lane`]).
+///
 /// # Errors
 ///
 /// Returns [`ArchError::NoTrials`] for `n == 0`.
@@ -214,26 +233,70 @@ pub fn random_register_campaign(
     n: usize,
     seed: u64,
 ) -> Result<Campaign, ArchError> {
+    random_register_campaign_with(
+        program,
+        config,
+        protection,
+        n,
+        seed,
+        lane::lanes_from_env(),
+        lori_par::global(),
+    )
+}
+
+/// [`random_register_campaign`] with explicit lane width and parallelism.
+///
+/// # Errors
+///
+/// Returns [`ArchError::NoTrials`] for `n == 0`.
+pub fn random_register_campaign_with(
+    program: &Program,
+    config: &CpuConfig,
+    protection: &Protection,
+    n: usize,
+    seed: u64,
+    lanes: usize,
+    par: Parallelism,
+) -> Result<Campaign, ArchError> {
     if n == 0 {
         return Err(ArchError::NoTrials);
     }
     let golden = crate::cpu::run_golden(program, config);
+    // All specs are drawn up front, in exactly the order the scalar loop
+    // would draw them — the lane width never touches the RNG stream.
     let mut rng = Rng::from_seed(seed);
-    let mut trials = Vec::with_capacity(n);
+    let specs: Vec<FaultSpec> = (0..n)
+        .map(|_| {
+            #[allow(clippy::cast_possible_truncation)]
+            FaultSpec {
+                target: FaultTarget::Register {
+                    reg: Reg::new(rng.below(NUM_REGS as u64) as u8).expect("in range"),
+                    bit: rng.below(32) as u8,
+                },
+                cycle: rng.below(golden.cycles.max(1)),
+            }
+        })
+        .collect();
+    let progress = Progress::start("fault.campaign", n as u64);
+    let outcomes = lane::campaign_outcomes(
+        program,
+        config,
+        protection,
+        &golden,
+        &specs,
+        lanes,
+        par,
+        Some(&progress),
+    );
     let mut counts = OutcomeCounts::default();
-    for _ in 0..n {
-        #[allow(clippy::cast_possible_truncation)]
-        let fault = FaultSpec {
-            target: FaultTarget::Register {
-                reg: Reg::new(rng.below(NUM_REGS as u64) as u8).expect("in range"),
-                bit: rng.below(32) as u8,
-            },
-            cycle: rng.below(golden.cycles.max(1)),
-        };
-        let outcome = run_with_fault(program, config, protection, &golden, &fault);
-        counts.record(outcome);
-        trials.push(Trial { fault, outcome });
-    }
+    let trials: Vec<Trial> = specs
+        .into_iter()
+        .zip(outcomes)
+        .map(|(fault, outcome)| {
+            counts.record(outcome);
+            Trial { fault, outcome }
+        })
+        .collect();
     Ok(Campaign {
         trials,
         counts,
@@ -254,34 +317,71 @@ pub fn per_register_vulnerability(
     n_per_reg: usize,
     seed: u64,
 ) -> Result<Vec<f64>, ArchError> {
+    per_register_vulnerability_with(
+        program,
+        config,
+        n_per_reg,
+        seed,
+        lane::lanes_from_env(),
+        lori_par::global(),
+    )
+}
+
+/// [`per_register_vulnerability`] with explicit lane width and parallelism.
+///
+/// # Errors
+///
+/// Returns [`ArchError::NoTrials`] for `n_per_reg == 0`.
+pub fn per_register_vulnerability_with(
+    program: &Program,
+    config: &CpuConfig,
+    n_per_reg: usize,
+    seed: u64,
+    lanes: usize,
+    par: Parallelism,
+) -> Result<Vec<f64>, ArchError> {
     if n_per_reg == 0 {
         return Err(ArchError::NoTrials);
     }
     let golden = crate::cpu::run_golden(program, config);
     let protection = Protection::none();
+    // Register-major spec generation, one shared RNG stream — the draw
+    // order of the original nested loops.
     let mut rng = Rng::from_seed(seed);
-    let mut result = Vec::with_capacity(NUM_REGS);
+    let mut specs = Vec::with_capacity(NUM_REGS * n_per_reg);
     for reg_idx in 0..NUM_REGS {
-        let mut counts = OutcomeCounts::default();
         for _ in 0..n_per_reg {
             #[allow(clippy::cast_possible_truncation)]
-            let fault = FaultSpec {
+            specs.push(FaultSpec {
                 target: FaultTarget::Register {
                     reg: Reg::new(reg_idx as u8).expect("in range"),
                     bit: rng.below(32) as u8,
                 },
                 cycle: rng.below(golden.cycles.max(1)),
-            };
-            counts.record(run_with_fault(
-                program,
-                config,
-                &protection,
-                &golden,
-                &fault,
-            ));
+            });
         }
-        result.push(counts.vulnerability());
     }
+    let progress = Progress::start("fault.vulnerability", specs.len() as u64);
+    let outcomes = lane::campaign_outcomes(
+        program,
+        config,
+        &protection,
+        &golden,
+        &specs,
+        lanes,
+        par,
+        Some(&progress),
+    );
+    let result = outcomes
+        .chunks(n_per_reg)
+        .map(|chunk| {
+            let mut counts = OutcomeCounts::default();
+            for &o in chunk {
+                counts.record(o);
+            }
+            counts.vulnerability()
+        })
+        .collect();
     Ok(result)
 }
 
@@ -299,57 +399,105 @@ pub fn per_instruction_sdc(
     n_per_instr: usize,
     seed: u64,
 ) -> Result<Vec<f64>, ArchError> {
+    per_instruction_sdc_with(
+        program,
+        config,
+        n_per_instr,
+        seed,
+        lane::lanes_from_env(),
+        lori_par::global(),
+    )
+}
+
+/// [`per_instruction_sdc`] with explicit lane width and parallelism.
+///
+/// # Errors
+///
+/// Returns [`ArchError::NoTrials`] for `n_per_instr == 0`.
+pub fn per_instruction_sdc_with(
+    program: &Program,
+    config: &CpuConfig,
+    n_per_instr: usize,
+    seed: u64,
+    lanes: usize,
+    par: Parallelism,
+) -> Result<Vec<f64>, ArchError> {
     if n_per_instr == 0 {
         return Err(ArchError::NoTrials);
     }
-    let golden = crate::cpu::run_golden(program, config);
     let protection = Protection::none();
 
-    // First, map each static instruction to the cycles at which it executes.
+    // One golden pass yields both the reference result and the map from
+    // each static instruction to the cycles at which it executes.
     let mut exec_cycles: Vec<Vec<u64>> = vec![Vec::new(); program.len()];
-    {
+    let golden = {
         let mut cpu = Cpu::new(program, config);
         let mut cycle: u64 = 0;
         loop {
             let info = cpu.step(program, &protection);
             exec_cycles[info.instr_index].push(cycle);
             cycle += 1;
-            if info.stop.is_some() {
-                break;
+            if let Some(stop) = info.stop {
+                break cpu.finish(program, stop);
             }
         }
-    }
+    };
 
+    // Specs drawn up front in the scalar loop's exact order: instructions
+    // without a destination or never executed draw nothing.
     let mut rng = Rng::from_seed(seed);
-    let mut result = Vec::with_capacity(program.len());
+    let mut specs = Vec::new();
+    let mut sampled: Vec<bool> = Vec::with_capacity(program.len());
     for (i, instr) in program.instrs.iter().enumerate() {
         let Some(dest) = instr.dest() else {
-            result.push(0.0);
+            sampled.push(false);
             continue;
         };
         if exec_cycles[i].is_empty() {
-            result.push(0.0);
+            sampled.push(false);
             continue;
         }
-        let mut sdc = 0usize;
+        sampled.push(true);
         for _ in 0..n_per_instr {
             let &cycle = rng.choose(&exec_cycles[i]).expect("non-empty");
             #[allow(clippy::cast_possible_truncation)]
-            let fault = FaultSpec {
+            specs.push(FaultSpec {
                 target: FaultTarget::Register {
                     reg: dest,
                     bit: rng.below(32) as u8,
                 },
                 // Inject right after the instruction writes its result.
                 cycle: cycle + 1,
-            };
-            if run_with_fault(program, config, &protection, &golden, &fault) == Outcome::Sdc {
-                sdc += 1;
-            }
+            });
         }
-        #[allow(clippy::cast_precision_loss)]
-        result.push(sdc as f64 / n_per_instr as f64);
     }
+    let progress = Progress::start("fault.instr_sdc", specs.len() as u64);
+    let outcomes = lane::campaign_outcomes(
+        program,
+        config,
+        &protection,
+        &golden,
+        &specs,
+        lanes,
+        par,
+        Some(&progress),
+    );
+
+    let mut chunks = outcomes.chunks(n_per_instr);
+    let result = sampled
+        .into_iter()
+        .map(|has_specs| {
+            if !has_specs {
+                return 0.0;
+            }
+            let chunk = chunks.next().expect("one chunk per sampled instruction");
+            let sdc = chunk.iter().filter(|&&o| o == Outcome::Sdc).count();
+            #[allow(clippy::cast_precision_loss)]
+            {
+                sdc as f64 / n_per_instr as f64
+            }
+        })
+        .collect();
     Ok(result)
 }
 

@@ -115,6 +115,15 @@ impl Instr {
     /// The registers the instruction reads.
     #[must_use]
     pub fn sources(&self) -> Vec<Reg> {
+        self.sources_fixed().into_iter().flatten().collect()
+    }
+
+    /// The registers the instruction reads, without allocating: at most two
+    /// slots, in the same order as [`Instr::sources`], unused slots `None`.
+    /// This is the per-step hot-path variant used by the simulator's guard
+    /// compares and the lane engine's divergence masks.
+    #[must_use]
+    pub fn sources_fixed(&self) -> [Option<Reg>; 2] {
         match *self {
             Instr::Add(_, a, b)
             | Instr::Sub(_, a, b)
@@ -123,11 +132,11 @@ impl Instr {
             | Instr::Or(_, a, b)
             | Instr::Xor(_, a, b)
             | Instr::Sll(_, a, b)
-            | Instr::Srl(_, a, b) => vec![a, b],
-            Instr::Addi(_, a, _) | Instr::Ld(_, a, _) => vec![a],
-            Instr::St(b, a, _) => vec![a, b],
-            Instr::Beq(a, b, _) | Instr::Bne(a, b, _) | Instr::Blt(a, b, _) => vec![a, b],
-            Instr::Jmp(_) | Instr::Nop | Instr::Halt => vec![],
+            | Instr::Srl(_, a, b) => [Some(a), Some(b)],
+            Instr::Addi(_, a, _) | Instr::Ld(_, a, _) => [Some(a), None],
+            Instr::St(b, a, _) => [Some(a), Some(b)],
+            Instr::Beq(a, b, _) | Instr::Bne(a, b, _) | Instr::Blt(a, b, _) => [Some(a), Some(b)],
+            Instr::Jmp(_) | Instr::Nop | Instr::Halt => [None, None],
         }
     }
 

@@ -11,6 +11,8 @@
 //! - [`fault`] — bit-flip fault injection campaigns with outcome
 //!   classification (Masked / SDC / Crash / Hang / Detected) and AVF
 //!   estimation;
+//! - [`lane`] — a bit-parallel injection engine evaluating up to 64 fault
+//!   scenarios per simulation pass, bit-identical to the scalar path;
 //! - [`features`] — structural feature extraction for registers
 //!   ("flip-flops") and instructions, feeding the ML predictors;
 //! - [`predict`] — dataset builders for vulnerability prediction (the
@@ -19,11 +21,13 @@
 //! - [`protect`] — selective instruction replication (IPAS-style, ref \[27\])
 //!   and symptom-based detection (ref \[29\]).
 
+pub(crate) mod accel;
 pub mod cpu;
 pub mod error;
 pub mod fault;
 pub mod features;
 pub mod isa;
+pub mod lane;
 pub mod predict;
 pub mod protect;
 pub mod workload;

@@ -10,12 +10,15 @@
 
 use crate::cpu::{CpuConfig, Protection};
 use crate::error::ArchError;
-use crate::fault::{run_with_fault, FaultSpec, FaultTarget, Outcome};
+use crate::fault::{FaultSpec, FaultTarget, Outcome};
 use crate::features::{instruction_features, register_features};
 use crate::isa::{Program, Reg, NUM_REGS};
+use crate::lane;
 use lori_core::Rng;
 use lori_ml::data::Dataset;
 use lori_ml::MlError;
+use lori_obs::progress::Progress;
+use lori_par::Parallelism;
 
 /// Builds the per-flip-flop vulnerability dataset for one or more programs.
 ///
@@ -35,32 +38,75 @@ pub fn ff_vulnerability_dataset(
     vuln_threshold: f64,
     seed: u64,
 ) -> Result<Dataset, ArchError> {
+    ff_vulnerability_dataset_with(
+        programs,
+        config,
+        trials_per_ff,
+        vuln_threshold,
+        seed,
+        lane::lanes_from_env(),
+        lori_par::global(),
+    )
+}
+
+/// [`ff_vulnerability_dataset`] with explicit lane width and parallelism.
+///
+/// # Errors
+///
+/// Returns [`ArchError::NoTrials`] for `trials_per_ff == 0` or an ML error
+/// (propagated as [`MlError`]) if the assembled dataset is malformed.
+pub fn ff_vulnerability_dataset_with(
+    programs: &[Program],
+    config: &CpuConfig,
+    trials_per_ff: usize,
+    vuln_threshold: f64,
+    seed: u64,
+    lanes: usize,
+    par: Parallelism,
+) -> Result<Dataset, ArchError> {
     if trials_per_ff == 0 {
         return Err(ArchError::NoTrials);
     }
     let mut rng = Rng::from_seed(seed);
     let mut rows = Vec::new();
     let mut labels = Vec::new();
+    let total = (programs.len() * NUM_REGS * 32 * trials_per_ff) as u64;
+    let progress = Progress::start("fault.ff_dataset", total);
     for program in programs {
         let golden = crate::cpu::run_golden(program, config);
         let feats = register_features(program, config);
         let protection = Protection::none();
-        for (reg_idx, feat) in feats.iter().enumerate().take(NUM_REGS) {
+        // Specs for the whole program in the scalar loop's draw order:
+        // register-major, then bit, then trial.
+        let mut specs = Vec::with_capacity(NUM_REGS * 32 * trials_per_ff);
+        for reg_idx in 0..NUM_REGS {
             for bit in 0..32u8 {
-                let mut vulnerable = 0usize;
                 for _ in 0..trials_per_ff {
-                    let fault = FaultSpec {
+                    specs.push(FaultSpec {
                         target: FaultTarget::Register {
                             reg: Reg::new(reg_idx as u8).expect("in range"),
                             bit,
                         },
                         cycle: rng.below(golden.cycles.max(1)),
-                    };
-                    let o = run_with_fault(program, config, &protection, &golden, &fault);
-                    if o != Outcome::Masked {
-                        vulnerable += 1;
-                    }
+                    });
                 }
+            }
+        }
+        let outcomes = lane::campaign_outcomes(
+            program,
+            config,
+            &protection,
+            &golden,
+            &specs,
+            lanes,
+            par,
+            Some(&progress),
+        );
+        let mut chunks = outcomes.chunks(trials_per_ff);
+        for feat in feats.iter().take(NUM_REGS) {
+            for bit in 0..32u8 {
+                let chunk = chunks.next().expect("one chunk per (reg, bit)");
+                let vulnerable = chunk.iter().filter(|&&o| o != Outcome::Masked).count();
                 #[allow(clippy::cast_precision_loss)]
                 let frac = vulnerable as f64 / trials_per_ff as f64;
                 let mut row = feat.to_row();

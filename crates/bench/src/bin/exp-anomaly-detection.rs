@@ -8,12 +8,14 @@
 use lori_arch::cpu::{Cpu, CpuConfig, Protection};
 use lori_arch::isa::NUM_REGS;
 use lori_arch::workload;
+use lori_bench::harness::results_dir;
 use lori_bench::{fmt, render_table, Harness};
 use lori_core::Rng;
 use lori_ml::data::{Dataset, StandardScaler};
 use lori_ml::metrics::{f1_score, precision, recall};
 use lori_ml::mlp::{Mlp, MlpConfig};
 use lori_ml::traits::Classifier;
+use lori_obs::Value;
 
 /// Collects register snapshots every `stride` instructions of a run,
 /// optionally with a register bit corrupted at a random point.
@@ -134,6 +136,40 @@ fn main() {
         )
     );
     println!("claim shape: high recall & precision from a tiny two-hidden-layer MLP.");
+
+    // Deterministic artifact: the headline metrics as JSON, byte-identical
+    // for a given seed regardless of LORI_LANES / LORI_THREADS — CI diffs
+    // it across engine configurations.
+    let metrics = Value::Obj(vec![
+        (
+            "experiment".to_owned(),
+            Value::from("exp-anomaly-detection"),
+        ),
+        ("seed".to_owned(), Value::from(5u64)),
+        ("test_samples".to_owned(), Value::from(test.len() as u64)),
+        (
+            "recall".to_owned(),
+            Value::from(recall(&truth, &preds, 1).expect("metric")),
+        ),
+        (
+            "precision".to_owned(),
+            Value::from(precision(&truth, &preds, 1).expect("metric")),
+        ),
+        (
+            "f1".to_owned(),
+            Value::from(f1_score(&truth, &preds, 1).expect("metric")),
+        ),
+        (
+            "detector_parameters".to_owned(),
+            Value::from(detector_params as u64),
+        ),
+    ]);
+    let path = results_dir().join("exp-anomaly-detection.metrics.json");
+    if let Err(err) = lori_fault::atomic_write(&path, format!("{}\n", metrics.to_json()).as_bytes())
+    {
+        eprintln!("warning: metrics artifact not written: {err}");
+    }
+
     h.check(
         "recall above 0.9",
         recall(&truth, &preds, 1).expect("metric") > 0.9,

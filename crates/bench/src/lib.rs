@@ -11,7 +11,10 @@ pub mod progress;
 pub mod resume;
 
 pub use harness::Harness;
-pub use perf::{write_bench_cache, write_bench_obs, write_bench_sweep, CacheTiming, SweepTiming};
+pub use perf::{
+    write_bench_arch, write_bench_cache, write_bench_obs, write_bench_sweep, ArchGroup,
+    CacheTiming, SweepTiming,
+};
 pub use progress::Progress;
 pub use resume::{resumable_sweep, SweepOutcome};
 

@@ -58,25 +58,13 @@ impl CheckpointSystem {
         Ok(())
     }
 
-    /// Simulates the execution of a segment of `work` cycles under error
-    /// model `errors`, sampling rollbacks per chunk from Eq. (2).
-    ///
-    /// With `checkpoints_per_segment = k`, the segment is split into `k`
-    /// equal chunks, each followed by its own checkpoint; a rollback only
-    /// repeats the current chunk.
-    #[must_use]
-    pub fn execute_segment(
-        &self,
-        work: Cycles,
-        errors: &ErrorModel,
-        rng: &mut Rng,
-    ) -> SegmentExecution {
+    /// The per-chunk recovery windows of a `work`-cycle segment: each of
+    /// the `k` chunks plus its checkpoint routine, the last chunk absorbing
+    /// the division remainder.
+    fn windows(&self, work: Cycles) -> impl Iterator<Item = Cycles> + '_ {
         let k = u64::from(self.checkpoints_per_segment);
         let chunk = Cycles((work.value() / k).max(1));
-        let mut rollbacks = 0u64;
-        let mut total = 0u64;
-        for i in 0..k {
-            // The last chunk absorbs the remainder.
+        (0..k).map(move |i| {
             let this_chunk = if i == k - 1 {
                 Cycles(work.value() - chunk.value() * (k - 1))
             } else {
@@ -84,7 +72,31 @@ impl CheckpointSystem {
             };
             // A (re-)computation window includes the checkpoint routine,
             // which is just as exposed to errors as the main computation.
-            let window = Cycles(this_chunk.value() + self.checkpoint_cycles.value());
+            Cycles(this_chunk.value() + self.checkpoint_cycles.value())
+        })
+    }
+
+    /// Simulates the execution of a segment of `work` cycles under error
+    /// model `errors`, sampling rollbacks per chunk from Eq. (2).
+    ///
+    /// With `checkpoints_per_segment = k`, the segment is split into `k`
+    /// equal chunks, each followed by its own checkpoint; a rollback only
+    /// repeats the current chunk.
+    ///
+    /// Loops that re-execute the same `(work, errors)` pair many times
+    /// should precompute a [`SegmentPlan`] via
+    /// [`CheckpointSystem::plan_segment`]: it hoists the Eq.-(1) `powf` out
+    /// of the draw loop while consuming the RNG identically.
+    #[must_use]
+    pub fn execute_segment(
+        &self,
+        work: Cycles,
+        errors: &ErrorModel,
+        rng: &mut Rng,
+    ) -> SegmentExecution {
+        let mut rollbacks = 0u64;
+        let mut total = 0u64;
+        for window in self.windows(work) {
             let rb = errors.sample_rollbacks(window, rng);
             rollbacks = rollbacks.saturating_add(rb);
             // Saturating: at extreme p the rollback count can be astronomical;
@@ -96,6 +108,32 @@ impl CheckpointSystem {
         SegmentExecution {
             rollbacks,
             total_cycles: Cycles(total),
+        }
+    }
+
+    /// Precomputes the per-chunk windows and Eq.-(1) survival
+    /// probabilities of a segment, so repeated executions skip the `powf`
+    /// per draw. [`SegmentPlan::execute`] makes exactly the geometric
+    /// draws [`CheckpointSystem::execute_segment`] would, in the same
+    /// order, with the same parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a chunk can never complete (`q == 0`, i.e. `p == 1`) —
+    /// the same condition `execute_segment` panics on at draw time.
+    #[must_use]
+    pub fn plan_segment(&self, work: Cycles, errors: &ErrorModel) -> SegmentPlan {
+        let chunks = self
+            .windows(work)
+            .map(|window| {
+                let q = errors.no_error_probability(window).value();
+                assert!(q > 0.0, "segment can never complete at p = 1");
+                (window, q)
+            })
+            .collect();
+        SegmentPlan {
+            chunks,
+            rollback_cycles: self.rollback_cycles,
         }
     }
 
@@ -125,6 +163,40 @@ impl CheckpointSystem {
         Cycles(
             work.value() + u64::from(self.checkpoints_per_segment) * self.checkpoint_cycles.value(),
         )
+    }
+}
+
+/// A precomputed segment-execution plan: per-chunk recovery windows with
+/// their Eq.-(1) survival probabilities already evaluated. Built once per
+/// `(segment, error model)` pair by [`CheckpointSystem::plan_segment`];
+/// Monte Carlo loops then call [`SegmentPlan::execute`] per run, paying
+/// one geometric draw per chunk and no `powf`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentPlan {
+    /// Per-chunk (recovery window, no-error probability).
+    chunks: Vec<(Cycles, f64)>,
+    rollback_cycles: Cycles,
+}
+
+impl SegmentPlan {
+    /// Executes the planned segment, drawing rollbacks per chunk —
+    /// bit-identical RNG consumption and cycle accounting to
+    /// [`CheckpointSystem::execute_segment`] with the plan's parameters.
+    #[must_use]
+    pub fn execute(&self, rng: &mut Rng) -> SegmentExecution {
+        let mut rollbacks = 0u64;
+        let mut total = 0u64;
+        for &(window, q) in &self.chunks {
+            let rb = rng.geometric(q);
+            rollbacks = rollbacks.saturating_add(rb);
+            total = total
+                .saturating_add(rb.saturating_add(1).saturating_mul(window.value()))
+                .saturating_add(rb.saturating_mul(self.rollback_cycles.value()));
+        }
+        SegmentExecution {
+            rollbacks,
+            total_cycles: Cycles(total),
+        }
     }
 }
 
@@ -304,6 +376,42 @@ mod tests {
         // 100000 not divisible by 7: remainder must not be lost.
         let ex = sys.execute_segment(Cycles(100_000), &errors, &mut rng);
         assert_eq!(ex.total_cycles.value(), 100_000 + 7 * 100);
+    }
+
+    #[test]
+    fn plan_matches_execute_segment_draw_for_draw() {
+        // The hoisted-powf plan must consume the RNG exactly like the
+        // per-call path, across chunk counts and error rates (including a
+        // work size not divisible by k).
+        for k in [1u32, 3, 8] {
+            let sys = CheckpointSystem {
+                checkpoints_per_segment: k,
+                ..CheckpointSystem::default()
+            };
+            for p in [0.0, 1e-6, 3e-5] {
+                let errors = ErrorModel::new(p).unwrap();
+                let work = Cycles(100_000);
+                let plan = sys.plan_segment(work, &errors);
+                let mut rng_a = Rng::from_seed(42);
+                let mut rng_b = Rng::from_seed(42);
+                for _ in 0..500 {
+                    assert_eq!(
+                        sys.execute_segment(work, &errors, &mut rng_a),
+                        plan.execute(&mut rng_b),
+                        "k={k} p={p}"
+                    );
+                }
+                assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "k={k} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "segment can never complete")]
+    fn plan_p_one_panics_at_plan_time() {
+        let sys = CheckpointSystem::default();
+        let errors = ErrorModel::new(1.0).unwrap();
+        let _ = sys.plan_segment(Cycles(10), &errors);
     }
 
     #[test]

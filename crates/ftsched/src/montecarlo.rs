@@ -293,6 +293,12 @@ pub fn run_point(
         .sum();
 
     let rollback_caps = observable_rollback_caps(trace, config);
+    // Hoist the Eq.-(1) powf out of the runs × segments loop: one plan per
+    // trace segment, executed `runs` times with identical RNG consumption.
+    let plans: Vec<_> = trace
+        .iter()
+        .map(|&work| config.checkpoints.plan_segment(work, &task.errors))
+        .collect();
     let mut point_rng = task.rng.clone();
     let mut rollback_runs = Running::new();
     let mut point_rollbacks = 0u64;
@@ -311,10 +317,8 @@ pub fn run_point(
         for t in &mut trackers {
             t.reset();
         }
-        for (&work, &cap) in trace.iter().zip(&rollback_caps) {
-            let ex = config
-                .checkpoints
-                .execute_segment(work, &task.errors, &mut rng);
+        for ((&work, &cap), plan) in trace.iter().zip(&rollback_caps).zip(&plans) {
+            let ex = plan.execute(&mut rng);
             run_rollbacks = run_rollbacks.saturating_add(ex.rollbacks);
             run_observable = run_observable.saturating_add(ex.rollbacks.min(cap));
             segments_total += 1;

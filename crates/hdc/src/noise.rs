@@ -44,8 +44,15 @@ pub fn flip_components(hv: &BinaryHv, error_rate: f64, rng: &mut Rng) -> BinaryH
 pub fn flip_exact(hv: &BinaryHv, count: usize, rng: &mut Rng) -> BinaryHv {
     assert!(count <= hv.dim(), "cannot flip more components than exist");
     let mut out = hv.clone();
+    // Same index sample, but batched: sampled indices fold into per-word
+    // XOR masks instead of one read-modify-write per flipped bit. Indices
+    // are distinct, so no flip cancels another.
+    let mut masks = vec![0u64; out.words_mut().len()];
     for i in rng.sample_indices(hv.dim(), count) {
-        out.flip_bit(i);
+        masks[i / 64] |= 1u64 << (i % 64);
+    }
+    for (word, mask) in out.words_mut().iter_mut().zip(masks) {
+        *word ^= mask;
     }
     out
 }
@@ -108,6 +115,24 @@ mod tests {
         }
         assert_eq!(fast, reference);
         // And the two RNGs must end in the same position.
+        assert_eq!(rng_fast.next_u64(), rng_ref.next_u64());
+    }
+
+    #[test]
+    fn flip_exact_word_mask_matches_per_bit_reference() {
+        // Same draw-order guard for the exact-count path, including a
+        // partial tail word.
+        let mut seed_rng = Rng::from_seed(78);
+        let hv = BinaryHv::random(1000, &mut seed_rng);
+        let mut rng_fast = Rng::from_seed(321);
+        let mut rng_ref = Rng::from_seed(321);
+        let fast = flip_exact(&hv, 137, &mut rng_fast);
+        let mut reference = hv.clone();
+        for i in rng_ref.sample_indices(hv.dim(), 137) {
+            let b = reference.bit(i);
+            reference.set_bit(i, !b);
+        }
+        assert_eq!(fast, reference);
         assert_eq!(rng_fast.next_u64(), rng_ref.next_u64());
     }
 
