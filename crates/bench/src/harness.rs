@@ -52,6 +52,10 @@ pub struct Harness {
     checks: Vec<(String, bool)>,
     events_path: Option<PathBuf>,
     finished: bool,
+    /// Set when this process is a procpool shard worker: shared artifacts
+    /// (banner, event log, manifest, telemetry) belong to the supervisor;
+    /// the worker only dumps its flight ring to a worker-suffixed file.
+    worker: bool,
 }
 
 impl Harness {
@@ -67,7 +71,11 @@ impl Harness {
     /// [`Harness::finish`].
     #[must_use]
     pub fn new(name: &str, id: &str, title: &str) -> Self {
-        crate::banner(id, title);
+        let worker_role = lori_par::procpool::worker_role();
+        let worker = worker_role.is_some();
+        if !worker {
+            crate::banner(id, title);
+        }
         let dir = results_dir();
         let dir_ok = match std::fs::create_dir_all(&dir) {
             Ok(()) => true,
@@ -80,7 +88,9 @@ impl Harness {
                 false
             }
         };
-        let events_path = if dir_ok && obs_enabled() {
+        // Workers must not stream into the supervisor's event log — the
+        // shared path would interleave two processes' writes.
+        let events_path = if dir_ok && obs_enabled() && !worker {
             let path = dir.join(format!("{name}.events.jsonl"));
             match obs::JsonlRecorder::create_atomic(&path) {
                 Ok(rec) => {
@@ -106,15 +116,23 @@ impl Harness {
             obs::flight::init_from_env();
         }
         if obs::flight::enabled() && dir_ok {
-            obs::flight::set_dump_path(dir.join(format!("{name}.flight.json")));
+            // Each procpool worker gets its own black-box file; the
+            // supervisor's finish() merges them deterministically.
+            let flight_name = match worker_role {
+                Some(role) => format!("{name}.flight.worker-{}.json", role.worker),
+                None => format!("{name}.flight.json"),
+            };
+            obs::flight::set_dump_path(dir.join(flight_name));
             obs::flight::install_panic_hook();
         }
-        match obs::telemetry::init_from_env() {
-            Ok(Some(addr)) => eprintln!("telemetry: listening on {addr}"),
-            Ok(None) => {}
-            Err(err) => eprintln!("warning: cannot start LORI_TELEMETRY endpoint: {err}"),
+        if !worker {
+            match obs::telemetry::init_from_env() {
+                Ok(Some(addr)) => eprintln!("telemetry: listening on {addr}"),
+                Ok(None) => {}
+                Err(err) => eprintln!("warning: cannot start LORI_TELEMETRY endpoint: {err}"),
+            }
+            obs::telemetry::set_run(name);
         }
-        obs::telemetry::set_run(name);
         let mut manifest = obs::RunManifest::start(name);
         manifest.config("obs", events_path.is_some());
         // The golden-model cache mode changes wall time, never bytes; it is
@@ -138,6 +156,7 @@ impl Harness {
             checks: Vec::new(),
             events_path,
             finished: false,
+            worker,
         }
     }
 
@@ -202,6 +221,11 @@ impl Harness {
         }
         self.finished = true;
         obs::uninstall();
+        if self.worker {
+            // The manifest belongs to the supervisor; a worker writing it
+            // would clobber the real run record.
+            return Ok(());
+        }
         // Derived health ratios, computed after the recorder is gone so
         // they land in the manifest snapshot without touching the event
         // stream (artifacts stay identical with telemetry on or off).
@@ -236,6 +260,7 @@ impl Harness {
             );
             self.manifest.config.push(("checks".to_owned(), checks));
         }
+        self.merge_worker_flights();
         self.manifest.finish(obs::registry().snapshot());
         obs::telemetry::set_phase("finished");
         obs::telemetry::set_manifest_json(self.manifest.to_json());
@@ -247,6 +272,72 @@ impl Harness {
         }
         println!();
         Ok(())
+    }
+
+    /// Folds per-worker flight dumps (`<name>.flight.worker-<k>.json`,
+    /// left behind by procpool workers that panicked or quarantined) into
+    /// one deterministic `results/<name>.flight.json` sorted by worker id,
+    /// removing the per-worker litter. A supervisor-side dump, when
+    /// present, leads the merged document.
+    fn merge_worker_flights(&self) {
+        let dir = results_dir();
+        let prefix = format!("{}.flight.worker-", self.name);
+        let mut parts: Vec<(u64, PathBuf)> = Vec::new();
+        let Ok(read) = std::fs::read_dir(&dir) else {
+            return;
+        };
+        for entry in read.flatten() {
+            let fname = entry.file_name();
+            let Some(fname) = fname.to_str() else {
+                continue;
+            };
+            let Some(id) = fname
+                .strip_prefix(&prefix)
+                .and_then(|rest| rest.strip_suffix(".json"))
+                .and_then(|id| id.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            parts.push((id, entry.path()));
+        }
+        if parts.is_empty() {
+            return;
+        }
+        parts.sort();
+        let final_path = dir.join(format!("{}.flight.json", self.name));
+        let mut dumps: Vec<Value> = Vec::new();
+        if let Ok(text) = std::fs::read_to_string(&final_path) {
+            if let Ok(doc) = Value::parse(&text) {
+                dumps.push(Value::Obj(vec![
+                    ("worker".to_owned(), Value::from("supervisor")),
+                    ("dump".to_owned(), doc),
+                ]));
+            }
+        }
+        for (id, path) in &parts {
+            let Ok(text) = std::fs::read_to_string(path) else {
+                continue;
+            };
+            let Ok(doc) = Value::parse(&text) else {
+                continue;
+            };
+            dumps.push(Value::Obj(vec![
+                ("worker".to_owned(), Value::from(*id)),
+                ("dump".to_owned(), doc),
+            ]));
+        }
+        let merged = Value::Obj(vec![
+            ("reason".to_owned(), Value::from("merged")),
+            ("dumps".to_owned(), Value::Arr(dumps)),
+        ]);
+        match lori_fault::atomic_write(&final_path, format!("{}\n", merged.to_json()).as_bytes()) {
+            Ok(()) => {
+                for (_, path) in parts {
+                    let _ = std::fs::remove_file(path);
+                }
+            }
+            Err(err) => eprintln!("warning: cannot merge worker flight dumps: {err}"),
+        }
     }
 }
 

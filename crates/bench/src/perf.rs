@@ -41,7 +41,12 @@ impl SweepTiming {
 ///
 /// The record includes the machine's core count: a 1-core runner cannot
 /// show wall-time speedup no matter how good the executor is, and perf
-/// trajectories are only comparable across equal-core environments.
+/// trajectories are only comparable across equal-core environments. To
+/// make those comparisons possible, the same record is also written to a
+/// per-core-count baseline slot, `results/BENCH_sweep.cores-<n>.json` —
+/// the perf gate prefers the slot matching the current runner, so a
+/// multi-core runner's speedup is gated against a multi-core baseline
+/// instead of being demoted to a warning against a 1-core one.
 ///
 /// # Panics
 ///
@@ -82,10 +87,13 @@ pub fn write_bench_sweep(
     let dir = results_dir();
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join("BENCH_sweep.json");
+    let bytes = format!("{}\n", doc.to_json());
     // Atomic replace: a perf trajectory diff must never see a half-written
     // record from a killed bench run.
-    lori_fault::atomic_write(&path, format!("{}\n", doc.to_json()).as_bytes())
-        .expect("write BENCH_sweep.json");
+    lori_fault::atomic_write(&path, bytes.as_bytes()).expect("write BENCH_sweep.json");
+    // The per-core-count baseline slot (see the doc comment).
+    let cores_slot = dir.join(format!("BENCH_sweep.cores-{cores}.json"));
+    lori_fault::atomic_write(&cores_slot, bytes.as_bytes()).expect("write BENCH_sweep cores slot");
     path
 }
 

@@ -1,0 +1,248 @@
+//! End-to-end tests for the supervised multi-process sweep executor:
+//! the `exp-fig5` binary is driven as a real subprocess tree (a
+//! supervisor and its forked workers) and its artifacts are compared
+//! byte-for-byte against the single-process flow under worker kills,
+//! poisoned shards, and two supervisors racing for the same results
+//! directory.
+//!
+//! Each test spawns fresh processes with an explicit environment, so no
+//! process-global state is shared and no serial lock is needed — only a
+//! per-test scratch directory.
+
+use lori_obs::Value;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("lori-procpool-{tag}-{}", std::process::id()))
+}
+
+/// One `exp-fig5` invocation against `dir` with an explicit environment.
+/// Inherited `LORI_*` knobs are stripped so the test's own settings are
+/// the whole story.
+fn run_fig5(dir: &Path, envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_exp-fig5"));
+    for knob in [
+        "LORI_WORKERS",
+        "LORI_THREADS",
+        "LORI_SHARDS",
+        "LORI_FAULT_PLAN",
+        "LORI_RECOVERY",
+        "LORI_TELEMETRY",
+        "LORI_PROGRESS",
+        "LORI_WORKER_RETRIES",
+        "LORI_PROCPOOL_KEEP",
+    ] {
+        cmd.env_remove(knob);
+    }
+    cmd.env("LORI_RESULTS_DIR", dir);
+    cmd.env("LORI_RUNS", "20");
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn exp-fig5")
+}
+
+fn points_bytes(dir: &Path) -> Vec<u8> {
+    std::fs::read(dir.join("exp-fig5.points.json")).expect("points artifact")
+}
+
+fn manifest(dir: &Path) -> Value {
+    let text =
+        std::fs::read_to_string(dir.join("exp-fig5.manifest.json")).expect("manifest artifact");
+    Value::parse(&text).expect("manifest parses")
+}
+
+fn metric(manifest: &Value, name: &str) -> f64 {
+    manifest
+        .get("metrics")
+        .and_then(|m| m.get(name))
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0)
+}
+
+/// Successful runs must leave no shard WAL / lease / fail litter behind.
+fn assert_no_shard_litter(dir: &Path) {
+    let litter: Vec<String> = std::fs::read_dir(dir)
+        .expect("results dir")
+        .filter_map(Result::ok)
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains(".shard-"))
+        .collect();
+    assert!(litter.is_empty(), "shard litter left behind: {litter:?}");
+}
+
+fn assert_success(out: &Output, what: &str) {
+    assert!(
+        out.status.success(),
+        "{what} failed ({}):\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn points_are_byte_identical_across_worker_and_thread_matrix() {
+    let base = scratch("matrix");
+    let reference_dir = base.join("reference");
+    let out = run_fig5(&reference_dir, &[("LORI_THREADS", "1")]);
+    assert_success(&out, "reference run");
+    let reference = points_bytes(&reference_dir);
+
+    // Every workers x threads combination must reproduce the exact bytes.
+    let combos: &[&[(&str, &str)]] = &[
+        &[("LORI_WORKERS", "4"), ("LORI_THREADS", "1")],
+        &[("LORI_WORKERS", "1"), ("LORI_THREADS", "4")],
+        &[
+            ("LORI_WORKERS", "2"),
+            ("LORI_THREADS", "2"),
+            ("LORI_SHARDS", "5"),
+        ],
+    ];
+    for (i, combo) in combos.iter().enumerate() {
+        let dir = base.join(format!("combo-{i}"));
+        let out = run_fig5(&dir, combo);
+        assert_success(&out, &format!("combo {combo:?}"));
+        assert_eq!(
+            points_bytes(&dir),
+            reference,
+            "combo {combo:?} diverged from single-process reference"
+        );
+        assert_no_shard_litter(&dir);
+        let m = manifest(&dir);
+        assert!(
+            metric(&m, "procpool.units_computed") > 0.0,
+            "combo {combo:?} never entered procpool mode"
+        );
+    }
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn killed_worker_is_reclaimed_and_results_match() {
+    let base = scratch("kill");
+    let reference_dir = base.join("reference");
+    let out = run_fig5(&reference_dir, &[("LORI_THREADS", "1")]);
+    assert_success(&out, "reference run");
+
+    // The worker that claims shard 2 aborts after claiming its lease; the
+    // supervisor must detect the crash, steal the lease, replay the shard
+    // WAL, and finish with identical bytes.
+    let faulted_dir = base.join("faulted");
+    let out = run_fig5(
+        &faulted_dir,
+        &[
+            ("LORI_WORKERS", "4"),
+            ("LORI_THREADS", "1"),
+            ("LORI_FAULT_PLAN", "kill@procpool.worker-kill:2"),
+        ],
+    );
+    assert_success(&out, "faulted run");
+    assert_eq!(
+        points_bytes(&faulted_dir),
+        points_bytes(&reference_dir),
+        "worker kill changed the artifact"
+    );
+    assert_no_shard_litter(&faulted_dir);
+
+    let m = manifest(&faulted_dir);
+    assert!(metric(&m, "procpool.workers_crashed") >= 1.0);
+    assert!(metric(&m, "procpool.leases_reclaimed") >= 1.0);
+    assert!(metric(&m, "procpool.retries") >= 1.0);
+    assert_eq!(metric(&m, "procpool.shards_poisoned"), 0.0);
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn repeatedly_killed_shard_is_poisoned_and_quarantined() {
+    let base = scratch("poison");
+    let dir = base.join("run");
+    // Shard 1 of 4 over the 13-point axis covers indices [4, 7); killing
+    // its worker on every attempt must exhaust the retry budget, poison
+    // the shard, and quarantine exactly those three points.
+    let out = run_fig5(
+        &dir,
+        &[
+            ("LORI_WORKERS", "2"),
+            ("LORI_THREADS", "1"),
+            ("LORI_SHARDS", "4"),
+            ("LORI_WORKER_RETRIES", "1"),
+            ("LORI_RECOVERY", "quarantine:1"),
+            ("LORI_FAULT_PLAN", "kill@procpool.worker-kill:1,attempts=99"),
+        ],
+    );
+    assert_success(&out, "poisoned run");
+
+    let m = manifest(&dir);
+    assert_eq!(metric(&m, "procpool.shards_poisoned"), 1.0);
+    let quarantined: Vec<f64> = m
+        .get("config")
+        .and_then(|c| c.get("quarantined_points"))
+        .and_then(Value::as_arr)
+        .expect("quarantined_points recorded")
+        .iter()
+        .filter_map(Value::as_f64)
+        .collect();
+    assert_eq!(quarantined, vec![4.0, 5.0, 6.0]);
+
+    let text = String::from_utf8(points_bytes(&dir)).unwrap();
+    let points = Value::parse(&text)
+        .expect("points artifact parses")
+        .get("points")
+        .and_then(Value::as_arr)
+        .expect("points array")
+        .to_vec();
+    assert_eq!(points.len(), 13);
+    for (i, p) in points.iter().enumerate() {
+        if (4..7).contains(&i) {
+            assert!(matches!(p, Value::Null), "point {i} must be quarantined");
+        } else {
+            assert!(!matches!(p, Value::Null), "point {i} must survive");
+        }
+    }
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn racing_supervisors_share_one_results_dir_without_corruption() {
+    let base = scratch("race");
+    let reference_dir = base.join("reference");
+    let out = run_fig5(&reference_dir, &[("LORI_THREADS", "1")]);
+    assert_success(&out, "reference run");
+
+    // Two full supervisors race for the same shards in the same results
+    // directory. Lease claims are O_EXCL-atomic, so every shard is
+    // computed by exactly one side, both runs converge, and the final
+    // artifact is uncorrupted.
+    let shared = base.join("shared");
+    let spawn = || {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_exp-fig5"));
+        cmd.env("LORI_RESULTS_DIR", &shared)
+            .env("LORI_RUNS", "20")
+            .env("LORI_WORKERS", "2")
+            .env("LORI_THREADS", "1")
+            .env_remove("LORI_FAULT_PLAN")
+            .env_remove("LORI_TELEMETRY")
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::piped());
+        cmd.spawn().expect("spawn racing supervisor")
+    };
+    let a = spawn();
+    let b = spawn();
+    let a = a.wait_with_output().expect("wait supervisor a");
+    let b = b.wait_with_output().expect("wait supervisor b");
+    assert_success(&a, "racing supervisor a");
+    assert_success(&b, "racing supervisor b");
+
+    assert_eq!(
+        points_bytes(&shared),
+        points_bytes(&reference_dir),
+        "racing supervisors corrupted the artifact"
+    );
+    assert_no_shard_litter(&shared);
+
+    std::fs::remove_dir_all(&base).ok();
+}

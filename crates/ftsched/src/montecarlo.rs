@@ -1,6 +1,14 @@
 //! The Monte Carlo harness of Sec. V-D: sweeps error probability, runs 100
 //! simulations per point, and produces the data behind Fig. 5 (average
 //! rollbacks per segment) and Fig. 6 (deadline hit rate per algorithm).
+//!
+//! Every point is a pure function of `(axis index, config, trace)` — the
+//! per-point RNG stream is derived from the seed and the point's index,
+//! never from timing or worker identity. That purity is what the layers
+//! above stack execution modes on: `lori_par::par_map` fans points out
+//! over threads, `lori-bench`'s resumable sweep replays them from a WAL,
+//! and `lori_par::procpool` (`LORI_WORKERS=<n>`) distributes them across
+//! supervised worker processes — all producing bit-identical results.
 
 use crate::checkpoint::CheckpointSystem;
 use crate::error::FtError;

@@ -1,0 +1,1348 @@
+//! Crash-tolerant multi-process sweep execution: supervised workers
+//! claiming checksummed WAL shards through atomic lease files.
+//!
+//! The thread pool in [`crate::par_map`] dies with its process: one
+//! kill -9, OOM, or panic storm takes the whole campaign down. This
+//! module applies the rollback-recovery discipline the workload
+//! *simulates* to the executor *running* it:
+//!
+//! - With `LORI_WORKERS=<n>` a **supervisor** re-execs the current binary
+//!   `n` times in worker mode, splitting the sweep into `LORI_SHARDS`
+//!   contiguous index ranges, each backed by its own checksummed WAL
+//!   (`<name>.shard-<k>.wal.jsonl`, same format as the PR 3 resume log).
+//! - A **worker** claims its shard through an atomic lease file
+//!   (`O_EXCL` create; stale leases stolen via `rename`, which the
+//!   filesystem serializes so exactly one thief wins), resumes the shard
+//!   WAL, computes only the missing units, appends each durably, and
+//!   heartbeats the lease from a side thread.
+//! - The supervisor polls `waitpid` and the lease heartbeats: a dead or
+//!   stalled worker is detected, killed if necessary, its lease
+//!   reclaimed, its completed WAL entries replayed, and the remainder
+//!   reassigned with bounded exponential backoff. A shard that keeps
+//!   failing is **poisoned** after `LORI_WORKER_RETRIES` re-assignments —
+//!   `LORI_RECOVERY`'s quarantine semantics at process granularity.
+//!
+//! **Determinism.** Every unit is a pure function of its index; shard
+//! boundaries depend only on `(total, shards)`; merging dedups by index;
+//! and a unit recomputed after a crash (or by two racing supervisors)
+//! re-produces byte-identical JSON. So the merged result — and the final
+//! points artifact — is bit-identical for any `LORI_WORKERS` ×
+//! `LORI_THREADS` × crash schedule, including kill -9 of workers and of
+//! the supervisor itself.
+//!
+//! The crash machinery is itself fault-injectable through
+//! `LORI_FAULT_PLAN`: `kill@procpool.worker-kill:<shard>` aborts the
+//! worker holding shard `<shard>`, `stall@procpool.worker-stall:<shard>`
+//! freezes it (heartbeats stop, the supervisor must notice), and
+//! `bitflip@procpool.lease-corrupt` corrupts lease bytes on write. The
+//! index-addressed kinds take `attempts=<n>` (default 1) so a fault can
+//! be scheduled to fire on the first attempt and let the retry succeed,
+//! or on every attempt to force poisoning.
+
+use lori_obs::Value;
+use std::collections::HashSet;
+use std::fs::OpenOptions;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Fault-plan site: abort (SIGKILL-equivalent) the worker running shard N.
+pub const SITE_WORKER_KILL: &str = "procpool.worker-kill";
+/// Fault-plan site: freeze the worker running shard N (heartbeats stop).
+pub const SITE_WORKER_STALL: &str = "procpool.worker-stall";
+/// Fault-plan site: corrupt lease bytes on write.
+pub const SITE_LEASE_CORRUPT: &str = "procpool.lease-corrupt";
+
+/// Worker exit code: shard complete (or already complete).
+pub const EXIT_DONE: i32 = 0;
+/// Worker exit code: another live worker holds the lease; try again later.
+pub const EXIT_LEASE_BUSY: i32 = 75;
+/// Worker exit code: our lease was stolen mid-run (we were presumed dead).
+pub const EXIT_LEASE_LOST: i32 = 76;
+/// Worker exit code: shard complete except for quarantined units, listed
+/// in the shard's fail file.
+pub const EXIT_QUARANTINED: i32 = 77;
+
+/// The process-level execution mode, resolved from `LORI_WORKERS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Threads-in-one-process (the default).
+    Off,
+    /// Supervise this many worker processes.
+    Workers(usize),
+}
+
+/// Resolves `LORI_WORKERS`: unset, empty, `off`, `0`, or unparsable mean
+/// [`Mode::Off`]; any positive integer means that many worker processes.
+#[must_use]
+pub fn mode() -> Mode {
+    match std::env::var("LORI_WORKERS") {
+        Ok(s) => {
+            let s = s.trim();
+            if s.is_empty() || s.eq_ignore_ascii_case("off") {
+                return Mode::Off;
+            }
+            match s.parse::<usize>() {
+                Ok(0) | Err(_) => Mode::Off,
+                Ok(n) => Mode::Workers(n),
+            }
+        }
+        Err(_) => Mode::Off,
+    }
+}
+
+/// The identity a supervisor hands a spawned worker via environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerRole {
+    /// Worker slot id (stable across the pool, used for flight dumps).
+    pub worker: usize,
+    /// The shard this worker must claim and complete.
+    pub shard: usize,
+    /// Total shard count (so worker and supervisor agree on bounds).
+    pub shards: usize,
+    /// The supervisor's attempt counter for this shard (0-based).
+    pub attempt: u32,
+}
+
+/// Detects worker mode from the `LORI_PROCPOOL_*` environment set by
+/// [`supervise`]. `None` in ordinary (supervisor or single-process) runs.
+#[must_use]
+pub fn worker_role() -> Option<WorkerRole> {
+    if std::env::var("LORI_PROCPOOL_ROLE").as_deref() != Ok("worker") {
+        return None;
+    }
+    let get = |k: &str| std::env::var(k).ok()?.trim().parse::<usize>().ok();
+    Some(WorkerRole {
+        worker: get("LORI_PROCPOOL_WORKER")?,
+        shard: get("LORI_PROCPOOL_SHARD")?,
+        shards: get("LORI_PROCPOOL_SHARDS")?,
+        #[allow(clippy::cast_possible_truncation)]
+        attempt: get("LORI_PROCPOOL_ATTEMPT")? as u32,
+    })
+}
+
+/// Supervision knobs, resolved from the environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Worker processes to keep running (`LORI_WORKERS`).
+    pub workers: usize,
+    /// Shard count (`LORI_SHARDS`, default `workers * 2` so reassignment
+    /// has slack).
+    pub shards: usize,
+    /// Lease heartbeat interval in ms (`LORI_HEARTBEAT_MS`, default 100).
+    pub heartbeat_ms: u64,
+    /// Heartbeat silence after which a worker counts as stalled and its
+    /// lease as stealable (`LORI_STALL_TIMEOUT_MS`, default 5000).
+    pub stall_timeout_ms: u64,
+    /// Shard re-assignments before poisoning (`LORI_WORKER_RETRIES`,
+    /// default 2).
+    pub retries: u32,
+    /// Exponential-backoff base in ms (`LORI_BACKOFF_MS`, default 50;
+    /// capped at 16x the base).
+    pub backoff_ms: u64,
+    /// Keep shard WAL/lease/metrics files after the merge
+    /// (`LORI_PROCPOOL_KEEP=1`; default: clean up).
+    pub keep_files: bool,
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+impl PoolConfig {
+    /// Resolves every knob from the environment for a pool of `workers`.
+    #[must_use]
+    pub fn from_env(workers: usize) -> Self {
+        let workers = workers.max(1);
+        #[allow(clippy::cast_possible_truncation)]
+        let retries = env_u64("LORI_WORKER_RETRIES", 2) as u32;
+        PoolConfig {
+            workers,
+            shards: env_u64("LORI_SHARDS", (workers * 2) as u64) as usize,
+            heartbeat_ms: env_u64("LORI_HEARTBEAT_MS", 100),
+            stall_timeout_ms: env_u64("LORI_STALL_TIMEOUT_MS", 5000),
+            retries,
+            backoff_ms: env_u64("LORI_BACKOFF_MS", 50),
+            keep_files: std::env::var("LORI_PROCPOOL_KEEP").as_deref() == Ok("1"),
+        }
+    }
+
+    fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u64 << attempt.saturating_sub(1).min(4);
+        Duration::from_millis(self.backoff_ms.saturating_mul(factor))
+    }
+}
+
+/// The half-open unit range `[lo, hi)` of shard `k` out of `shards` over
+/// `total` units: contiguous, balanced, and a pure function of its inputs
+/// — never of worker count or timing.
+#[must_use]
+pub fn shard_bounds(total: usize, shards: usize, k: usize) -> (usize, usize) {
+    let shards = shards.max(1);
+    let base = total / shards;
+    let rem = total % shards;
+    let lo = k * base + k.min(rem);
+    let hi = lo + base + usize::from(k < rem);
+    (lo.min(total), hi.min(total))
+}
+
+/// The checksummed WAL for shard `k` of experiment `name`.
+#[must_use]
+pub fn shard_wal_path(dir: &Path, name: &str, k: usize) -> PathBuf {
+    dir.join(format!("{name}.shard-{k}.wal.jsonl"))
+}
+
+/// The lease file for shard `k` of experiment `name`.
+#[must_use]
+pub fn lease_path(dir: &Path, name: &str, k: usize) -> PathBuf {
+    dir.join(format!("{name}.shard-{k}.lease.json"))
+}
+
+/// The quarantined-unit report for shard `k` (written on [`EXIT_QUARANTINED`]).
+#[must_use]
+pub fn fail_path(dir: &Path, name: &str, k: usize) -> PathBuf {
+    dir.join(format!("{name}.shard-{k}.fail.json"))
+}
+
+/// The worker-side metrics snapshot for shard `k`, folded into the
+/// supervisor's registry when the shard completes.
+#[must_use]
+pub fn metrics_path(dir: &Path, name: &str, k: usize) -> PathBuf {
+    dir.join(format!("{name}.shard-{k}.metrics.json"))
+}
+
+/// Whether `pid` is a live process. `Some(alive)` on Linux (via
+/// `/proc/<pid>`), `None` where liveness cannot be checked cheaply.
+#[must_use]
+pub fn pid_alive(pid: u32) -> Option<bool> {
+    if cfg!(target_os = "linux") {
+        Some(Path::new(&format!("/proc/{pid}")).exists())
+    } else {
+        None
+    }
+}
+
+/// Milliseconds since the Unix epoch (the lease heartbeat clock — wall
+/// time, comparable across processes).
+#[must_use]
+pub fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// One parsed lease file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lease {
+    /// The holder's process id.
+    pub pid: u32,
+    /// The holder's worker slot.
+    pub worker: usize,
+    /// The holder's attempt counter for the shard.
+    pub attempt: u32,
+    /// Last heartbeat, ms since the Unix epoch.
+    pub beat_ms: u64,
+    /// `"running"` while the shard is being computed, `"done"` after.
+    pub state: String,
+}
+
+impl Lease {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("pid".to_owned(), Value::from(u64::from(self.pid))),
+            ("worker".to_owned(), Value::from(self.worker as u64)),
+            ("attempt".to_owned(), Value::from(u64::from(self.attempt))),
+            ("beat_ms".to_owned(), Value::from(self.beat_ms)),
+            ("state".to_owned(), Value::from(self.state.as_str())),
+        ])
+    }
+
+    /// Parses a lease from its JSON document.
+    #[must_use]
+    pub fn from_value(v: &Value) -> Option<Lease> {
+        let num = |k: &str| -> Option<u64> {
+            let n = v.get(k)?.as_f64()?;
+            (n >= 0.0 && n.fract() == 0.0).then(|| {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let n = n as u64;
+                n
+            })
+        };
+        Some(Lease {
+            pid: u32::try_from(num("pid")?).ok()?,
+            #[allow(clippy::cast_possible_truncation)]
+            worker: num("worker")? as usize,
+            attempt: u32::try_from(num("attempt")?).ok()?,
+            beat_ms: num("beat_ms")?,
+            state: v.get("state")?.as_str()?.to_owned(),
+        })
+    }
+}
+
+/// What a lease file held when read.
+#[derive(Debug)]
+pub enum LeaseRead {
+    /// No lease file.
+    Missing,
+    /// A file exists but does not parse as a lease (torn write,
+    /// injected corruption). Carries the file's age in ms when known.
+    Corrupt(Option<u64>),
+    /// A well-formed lease.
+    Valid(Lease),
+}
+
+/// Reads and classifies the lease at `path`.
+#[must_use]
+pub fn read_lease(path: &Path) -> LeaseRead {
+    let Ok(bytes) = std::fs::read(path) else {
+        return LeaseRead::Missing;
+    };
+    let age_ms = std::fs::metadata(path)
+        .ok()
+        .and_then(|m| m.modified().ok())
+        .and_then(|t| t.elapsed().ok())
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX));
+    std::str::from_utf8(&bytes)
+        .ok()
+        .and_then(|s| Value::parse(s).ok())
+        .and_then(|v| Lease::from_value(&v))
+        .map_or(LeaseRead::Corrupt(age_ms), LeaseRead::Valid)
+}
+
+/// Writes `lease` to `path` atomically (temp + rename), passing the bytes
+/// through the `procpool.lease-corrupt` fault site first.
+fn write_lease(path: &Path, lease: &Lease) -> io::Result<()> {
+    let mut bytes = lease.to_value().to_json().into_bytes();
+    bytes.push(b'\n');
+    let _ = lori_fault::corrupt_bytes(SITE_LEASE_CORRUPT, &mut bytes);
+    lori_fault::atomic_write(path, &bytes)
+}
+
+/// Renames the lease at `path` to a claimant-unique reap name and removes
+/// it. `rename` is atomic, so of any number of concurrent thieves exactly
+/// one succeeds — the single-winner guarantee behind stale-lease stealing.
+/// Returns `true` for the winner.
+pub fn steal_lease(path: &Path) -> bool {
+    let reap = path.with_extension(format!("reap.{}", std::process::id()));
+    if std::fs::rename(path, &reap).is_ok() {
+        let _ = std::fs::remove_file(&reap);
+        lori_obs::counter("procpool.lease_steals").incr(1);
+        true
+    } else {
+        false
+    }
+}
+
+/// The result of a claim attempt.
+#[derive(Debug)]
+pub enum ClaimOutcome {
+    /// We hold the lease; heartbeat through the handle.
+    Won(LeaseHandle),
+    /// A live claimant holds it — back off ([`EXIT_LEASE_BUSY`]).
+    Busy,
+    /// The lease says the shard is done.
+    Done,
+}
+
+/// Our claim on a lease file, used to heartbeat and to mark completion.
+#[derive(Debug, Clone)]
+pub struct LeaseHandle {
+    path: PathBuf,
+    pid: u32,
+    worker: usize,
+    attempt: u32,
+}
+
+impl LeaseHandle {
+    /// Refreshes the heartbeat (state `"running"` or `"done"`). Returns
+    /// `false` when the lease is no longer ours — it was stolen because
+    /// we were presumed dead — in which case the caller must stop work
+    /// and exit with [`EXIT_LEASE_LOST`]. A lease that reads as corrupt
+    /// (possibly our own injected corruption) is rewritten.
+    #[must_use]
+    pub fn beat(&self, state: &str) -> bool {
+        match read_lease(&self.path) {
+            LeaseRead::Valid(l) if l.pid != self.pid => return false,
+            LeaseRead::Missing => return false,
+            _ => {}
+        }
+        write_lease(
+            &self.path,
+            &Lease {
+                pid: self.pid,
+                worker: self.worker,
+                attempt: self.attempt,
+                beat_ms: now_ms(),
+                state: state.to_owned(),
+            },
+        )
+        .is_ok()
+    }
+}
+
+/// Tries to claim the lease at `path` for `(worker, attempt)`.
+///
+/// Claiming is `O_EXCL` file creation, so concurrent claimants serialize
+/// through the filesystem. An existing lease is honored while its holder
+/// is live (fresh heartbeat and, on Linux, live pid); a stale one —
+/// holder dead, heartbeat older than `stall_timeout_ms`, or unparsable
+/// and older than the timeout — is stolen via [`steal_lease`] and
+/// re-claimed. Corrupt leases younger than the timeout are treated as
+/// busy: they are usually a concurrent claim mid-write.
+#[must_use]
+pub fn claim(path: &Path, worker: usize, attempt: u32, stall_timeout_ms: u64) -> ClaimOutcome {
+    for _ in 0..8 {
+        match OpenOptions::new().write(true).create_new(true).open(path) {
+            Ok(mut file) => {
+                let lease = Lease {
+                    pid: std::process::id(),
+                    worker,
+                    attempt,
+                    beat_ms: now_ms(),
+                    state: "running".to_owned(),
+                };
+                let mut bytes = lease.to_value().to_json().into_bytes();
+                bytes.push(b'\n');
+                let _ = lori_fault::corrupt_bytes(SITE_LEASE_CORRUPT, &mut bytes);
+                if file.write_all(&bytes).and_then(|()| file.flush()).is_err() {
+                    return ClaimOutcome::Busy;
+                }
+                drop(file);
+                return ClaimOutcome::Won(LeaseHandle {
+                    path: path.to_path_buf(),
+                    pid: std::process::id(),
+                    worker,
+                    attempt,
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => match read_lease(path) {
+                LeaseRead::Valid(l) => {
+                    if l.state == "done" {
+                        return ClaimOutcome::Done;
+                    }
+                    let dead = pid_alive(l.pid) == Some(false);
+                    let stale = now_ms().saturating_sub(l.beat_ms) > stall_timeout_ms;
+                    if dead || stale {
+                        let _ = steal_lease(path);
+                        continue;
+                    }
+                    return ClaimOutcome::Busy;
+                }
+                LeaseRead::Corrupt(age_ms) => {
+                    if age_ms.is_some_and(|age| age > stall_timeout_ms) {
+                        lori_fault::detected(SITE_LEASE_CORRUPT);
+                        let _ = steal_lease(path);
+                    } else {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    continue;
+                }
+                LeaseRead::Missing => continue,
+            },
+            Err(_) => return ClaimOutcome::Busy,
+        }
+    }
+    ClaimOutcome::Busy
+}
+
+/// What a supervisor shards and merges: the experiment's identity plus
+/// the WAL fingerprint header shared with the single-process resume log.
+#[derive(Debug)]
+pub struct ShardJob<'a> {
+    /// Experiment name (`exp-fig5`, …) — the artifact filename stem.
+    pub name: &'a str,
+    /// The results directory holding shard WALs and leases.
+    pub dir: &'a Path,
+    /// The config fingerprint; shard WALs embed it so a config change
+    /// invalidates them exactly like the top-level resume log.
+    pub header: &'a Value,
+    /// Total unit count (the sweep axis length).
+    pub total: usize,
+}
+
+impl ShardJob<'_> {
+    /// The header line of shard `k`'s WAL: the config fingerprint plus
+    /// the shard's identity and unit range.
+    #[must_use]
+    pub fn shard_header(&self, k: usize, shards: usize) -> Value {
+        let (lo, hi) = shard_bounds(self.total, shards, k);
+        Value::Obj(vec![
+            ("fp".to_owned(), self.header.clone()),
+            ("shard".to_owned(), Value::from(k as u64)),
+            ("lo".to_owned(), Value::from(lo as u64)),
+            ("hi".to_owned(), Value::from(hi as u64)),
+        ])
+    }
+}
+
+/// One unit that could not be completed (its shard was poisoned, or the
+/// worker quarantined it deterministically).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitFailure {
+    /// The unit (axis) index.
+    pub index: usize,
+    /// Executions attempted before giving up.
+    pub attempts: u32,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+/// The supervisor's merged result.
+#[derive(Debug)]
+pub struct PoolOutcome {
+    /// `entries[i]` is unit `i`'s serialized result, or `None` when it
+    /// failed (see `failures`).
+    pub entries: Vec<Option<Value>>,
+    /// Failed units in input order.
+    pub failures: Vec<UnitFailure>,
+    /// Units recovered from shard WALs that predate this supervisor —
+    /// progress a killed run left behind.
+    pub replayed: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+/// Worker-side counters folded into the supervisor registry by name when
+/// the shard completes. Metric names must be `&'static str`, so only this
+/// fixed set crosses the process boundary.
+const FOLDED_COUNTERS: &[&str] = &[
+    "fault.injected",
+    "fault.detected",
+    "fault.retried",
+    "fault.quarantined",
+    "fault.tasks",
+    "procpool.lease_steals",
+    "procpool.units_computed",
+    // Workload counters a sweep increments — folded so a multi-process
+    // manifest reports the same aggregate health a single process would.
+    "ftsched.deadline_misses",
+    "ftsched.rollbacks",
+    "cache.hits",
+    "cache.misses",
+    "cache.bytes",
+    "cache.corrupt",
+    "circuit.sta.instances",
+    "circuit.transient.steps",
+];
+
+fn write_worker_metrics(path: &Path) {
+    let mut members = Vec::new();
+    for m in lori_obs::registry().snapshot() {
+        if let lori_obs::MetricValue::Counter(n) = m.value {
+            if n > 0 && FOLDED_COUNTERS.contains(&m.name) {
+                members.push((m.name.to_owned(), Value::from(n)));
+            }
+        }
+    }
+    let _ = lori_fault::atomic_write(path, Value::Obj(members).to_json().as_bytes());
+}
+
+fn fold_worker_metrics(path: &Path) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return;
+    };
+    let Ok(Value::Obj(members)) = Value::parse(&text) else {
+        return;
+    };
+    for (name, value) in members {
+        let Some(&stat) = FOLDED_COUNTERS.iter().find(|&&s| s == name) else {
+            continue;
+        };
+        if let Some(n) = value.as_f64() {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            lori_obs::counter(stat).incr(n.max(0.0) as u64);
+        }
+    }
+}
+
+/// Runs the worker side of a shard job and exits the process; never
+/// returns. `run_unit` computes one unit (the same closure the
+/// single-process path maps over tasks), returning its serialized result
+/// or a message for deterministic typed failures.
+///
+/// The worker claims the shard lease, resumes the shard WAL, computes
+/// only the missing units (fanned out over `LORI_THREADS` like any other
+/// parallel region), appends each result durably, heartbeats from a side
+/// thread, and exits [`EXIT_DONE`] / [`EXIT_QUARANTINED`] /
+/// [`EXIT_LEASE_BUSY`] / [`EXIT_LEASE_LOST`].
+pub fn run_worker<F>(job: &ShardJob<'_>, role: WorkerRole, run_unit: F) -> !
+where
+    F: Fn(usize) -> Result<Value, String> + Sync,
+{
+    let cfg = PoolConfig::from_env(1);
+    let (lo, hi) = shard_bounds(job.total, role.shards, role.shard);
+    let wal_path = shard_wal_path(job.dir, job.name, role.shard);
+    let lease = lease_path(job.dir, job.name, role.shard);
+    let header = job.shard_header(role.shard, role.shards);
+
+    let shard_complete = || {
+        let replayed = lori_fault::replay(&wal_path);
+        if replayed.header.as_ref() != Some(&header) {
+            return false;
+        }
+        let have: HashSet<u64> = replayed.entries.iter().map(|(i, _)| *i).collect();
+        (lo..hi).all(|i| have.contains(&(i as u64)))
+    };
+
+    let handle = loop {
+        match claim(&lease, role.worker, role.attempt, cfg.stall_timeout_ms) {
+            ClaimOutcome::Won(h) => break h,
+            ClaimOutcome::Busy => std::process::exit(EXIT_LEASE_BUSY),
+            ClaimOutcome::Done => {
+                if shard_complete()
+                    || std::fs::metadata(fail_path(job.dir, job.name, role.shard)).is_ok()
+                {
+                    std::process::exit(EXIT_DONE);
+                }
+                // A done-lease without a complete WAL (cleanup race):
+                // steal it and recompute.
+                let _ = steal_lease(&lease);
+            }
+        }
+    };
+
+    // Process-level fault injection: a scheduled kill takes the worker
+    // down exactly like an external kill -9 would.
+    if lori_fault::check_kill(SITE_WORKER_KILL, role.shard as u64, role.attempt) {
+        std::process::abort();
+    }
+    let stall = lori_fault::check_stall(SITE_WORKER_STALL, role.shard as u64, role.attempt);
+
+    // Heartbeat thread: refresh the lease until stopped; if the lease is
+    // no longer ours we were presumed dead — stop computing immediately.
+    let stop = Arc::new(AtomicBool::new(false));
+    let hb = {
+        let stop = Arc::clone(&stop);
+        let handle = handle.clone();
+        let interval = Duration::from_millis(cfg.heartbeat_ms);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                if !handle.beat("running") {
+                    std::process::exit(EXIT_LEASE_LOST);
+                }
+                std::thread::sleep(interval);
+            }
+        })
+    };
+
+    let (wal, entries) = match lori_fault::WalWriter::resume(&wal_path, &header) {
+        Ok(pair) => pair,
+        Err(err) => {
+            eprintln!("procpool worker: cannot open shard WAL: {err}");
+            std::process::exit(1);
+        }
+    };
+    let have: HashSet<usize> = entries
+        .iter()
+        .filter_map(|(i, _)| usize::try_from(*i).ok())
+        .filter(|i| (lo..hi).contains(i))
+        .collect();
+    let missing: Vec<usize> = (lo..hi).filter(|i| !have.contains(i)).collect();
+
+    let policy = crate::RecoveryPolicy::from_env();
+    let wal = Mutex::new(wal);
+    let stalled = AtomicBool::new(false);
+    let computed = lori_obs::counter("procpool.units_computed");
+    let out = crate::par_map_recover(crate::global(), policy, &missing, |_, &i| {
+        let value = run_unit(i)?;
+        {
+            let mut guard = wal
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Err(err) = guard.append(i as u64, &value) {
+                eprintln!("procpool worker: WAL append failed: {err}");
+            }
+        }
+        computed.incr(1);
+        // Injected stall: freeze after the first durable unit — the
+        // heartbeat stops, and the supervisor must detect and kill us.
+        if stall && !stalled.swap(true, Ordering::Relaxed) {
+            stop.store(true, Ordering::Relaxed);
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+        Ok::<(), String>(())
+    });
+
+    // Quarantined units: panics caught by the recovery policy plus typed
+    // failures. Under fail-fast a typed failure crashes the worker — the
+    // supervisor retries the shard and eventually poisons it.
+    let mut failed: Vec<UnitFailure> = out
+        .failures
+        .iter()
+        .map(|f| UnitFailure {
+            index: missing[f.index],
+            attempts: f.attempts,
+            message: f.message.clone(),
+        })
+        .collect();
+    for (slot, &i) in out.results.iter().zip(&missing) {
+        if let Some(Err(message)) = slot {
+            if policy == crate::RecoveryPolicy::FailFast {
+                eprintln!("procpool worker: unit {i} failed: {message}");
+                std::process::exit(1);
+            }
+            lori_obs::counter("fault.quarantined").incr(1);
+            failed.push(UnitFailure {
+                index: i,
+                attempts: 1,
+                message: message.clone(),
+            });
+        }
+    }
+    failed.sort_by_key(|f| f.index);
+
+    stop.store(true, Ordering::Relaxed);
+    let _ = hb.join();
+
+    if !failed.is_empty() {
+        let doc = Value::Obj(vec![(
+            "failures".to_owned(),
+            Value::Arr(
+                failed
+                    .iter()
+                    .map(|f| {
+                        Value::Obj(vec![
+                            ("index".to_owned(), Value::from(f.index as u64)),
+                            ("attempts".to_owned(), Value::from(u64::from(f.attempts))),
+                            ("message".to_owned(), Value::from(f.message.as_str())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )]);
+        let _ = lori_fault::atomic_write(
+            fail_path(job.dir, job.name, role.shard),
+            doc.to_json().as_bytes(),
+        );
+    }
+    write_worker_metrics(&metrics_path(job.dir, job.name, role.shard));
+    if !handle.beat("done") {
+        std::process::exit(EXIT_LEASE_LOST);
+    }
+    std::process::exit(if failed.is_empty() {
+        EXIT_DONE
+    } else {
+        EXIT_QUARANTINED
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor side
+// ---------------------------------------------------------------------------
+
+enum ShardState {
+    Pending { attempt: u32, not_before: Instant },
+    Running(RunningShard),
+    Done,
+    Poisoned,
+}
+
+struct RunningShard {
+    child: Child,
+    worker: usize,
+    attempt: u32,
+    last_progress: Instant,
+}
+
+struct Supervisor<'a, F: FnMut(usize, &Value)> {
+    job: &'a ShardJob<'a>,
+    shards: usize,
+    entries: Vec<Option<Value>>,
+    failed: Vec<Vec<UnitFailure>>,
+    on_unit: F,
+}
+
+impl<F: FnMut(usize, &Value)> Supervisor<'_, F> {
+    /// Replays shard `k`'s WAL and merges every new unit. Returns how
+    /// many units were new.
+    fn merge_shard(&mut self, k: usize) -> usize {
+        let replayed = lori_fault::replay(shard_wal_path(self.job.dir, self.job.name, k));
+        if replayed.header.as_ref() != Some(&self.job.shard_header(k, self.shards)) {
+            return 0;
+        }
+        let (lo, hi) = shard_bounds(self.job.total, self.shards, k);
+        let mut new = 0;
+        for (i, data) in replayed.entries {
+            let Ok(i) = usize::try_from(i) else { continue };
+            if (lo..hi).contains(&i) && self.entries[i].is_none() {
+                (self.on_unit)(i, &data);
+                self.entries[i] = Some(data);
+                new += 1;
+            }
+        }
+        new
+    }
+
+    /// Reads shard `k`'s fail file (quarantined units).
+    fn read_failures(&mut self, k: usize) {
+        let Ok(text) = std::fs::read_to_string(fail_path(self.job.dir, self.job.name, k)) else {
+            return;
+        };
+        let Ok(doc) = Value::parse(&text) else {
+            return;
+        };
+        let Some(list) = doc.get("failures").and_then(Value::as_arr) else {
+            return;
+        };
+        let mut failures = Vec::new();
+        for f in list {
+            let (Some(index), Some(attempts)) = (
+                f.get("index").and_then(Value::as_f64),
+                f.get("attempts").and_then(Value::as_f64),
+            ) else {
+                continue;
+            };
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            failures.push(UnitFailure {
+                index: index as usize,
+                attempts: attempts as u32,
+                message: f
+                    .get("message")
+                    .and_then(Value::as_str)
+                    .unwrap_or("quarantined")
+                    .to_owned(),
+            });
+        }
+        self.failed[k] = failures;
+    }
+
+    /// `true` when every unit of shard `k` is merged or quarantined.
+    fn shard_settled(&self, k: usize) -> bool {
+        let (lo, hi) = shard_bounds(self.job.total, self.shards, k);
+        let failed: HashSet<usize> = self.failed[k].iter().map(|f| f.index).collect();
+        (lo..hi).all(|i| self.entries[i].is_some() || failed.contains(&i))
+    }
+}
+
+fn spawn_worker(
+    job: &ShardJob<'_>,
+    shards: usize,
+    shard: usize,
+    worker: usize,
+    attempt: u32,
+) -> io::Result<Child> {
+    let exe = std::env::current_exe()?;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    Command::new(exe)
+        .args(args)
+        // Workers must not recurse into supervision, rebind telemetry
+        // ports, or double-print progress heartbeats.
+        .env_remove("LORI_WORKERS")
+        .env_remove("LORI_TELEMETRY")
+        .env_remove("LORI_PROGRESS")
+        .env("LORI_RESULTS_DIR", job.dir)
+        .env("LORI_PROCPOOL_ROLE", "worker")
+        .env("LORI_PROCPOOL_WORKER", worker.to_string())
+        .env("LORI_PROCPOOL_SHARD", shard.to_string())
+        .env("LORI_PROCPOOL_SHARDS", shards.to_string())
+        .env("LORI_PROCPOOL_ATTEMPT", attempt.to_string())
+        .stdout(Stdio::null())
+        .spawn()
+}
+
+fn status_message(status: std::process::ExitStatus) -> String {
+    match status.code() {
+        Some(code) => format!("worker exited with code {code}"),
+        None => format!("worker killed by signal ({status})"),
+    }
+}
+
+/// Removes shard `k`'s WAL, lease, fail, and metrics files.
+fn cleanup_shard(dir: &Path, name: &str, k: usize) {
+    for path in [
+        shard_wal_path(dir, name, k),
+        lease_path(dir, name, k),
+        fail_path(dir, name, k),
+        metrics_path(dir, name, k),
+    ] {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+/// Supervises worker processes over a sharded job until every shard is
+/// done or poisoned. `on_unit(i, value)` fires exactly once per unit as
+/// it becomes durable in some shard WAL — callers typically forward it
+/// into the single-process resume WAL so progress survives a supervisor
+/// kill too.
+///
+/// Crash tolerance: worker exits are observed through `waitpid`
+/// (`try_wait`), stalls through lease-heartbeat age; a stalled worker is
+/// killed. Failed shards are reassigned with exponential backoff and
+/// poisoned after `cfg.retries` re-assignments, reporting every missing
+/// unit as a failure in input order.
+///
+/// # Errors
+///
+/// Propagates spawn failures for the *first* worker only (no workers at
+/// all — the caller falls back to in-process execution); later spawn
+/// failures are retried like worker crashes.
+pub fn supervise<F: FnMut(usize, &Value)>(
+    job: &ShardJob<'_>,
+    cfg: &PoolConfig,
+    on_unit: F,
+) -> io::Result<PoolOutcome> {
+    let shards = cfg.shards.clamp(1, job.total.max(1));
+    let mut sup = Supervisor {
+        job,
+        shards,
+        entries: vec![None; job.total],
+        failed: vec![Vec::new(); shards],
+        on_unit,
+    };
+
+    // Recover whatever a previous (killed) run left durable.
+    let mut replayed = 0;
+    for k in 0..shards {
+        replayed += sup.merge_shard(k);
+        sup.read_failures(k);
+    }
+
+    let mut states: Vec<ShardState> = (0..shards)
+        .map(|k| {
+            if sup.shard_settled(k) {
+                ShardState::Done
+            } else {
+                ShardState::Pending {
+                    attempt: 0,
+                    not_before: Instant::now(),
+                }
+            }
+        })
+        .collect();
+
+    let spawned = lori_obs::counter("procpool.workers_spawned");
+    let crashed = lori_obs::counter("procpool.workers_crashed");
+    let killed = lori_obs::counter("procpool.workers_killed");
+    let reclaimed = lori_obs::counter("procpool.leases_reclaimed");
+    let retries = lori_obs::counter("procpool.retries");
+    let poisoned_c = lori_obs::counter("procpool.shards_poisoned");
+    let mut first_spawn_err: Option<io::Error> = None;
+    let mut ever_spawned = false;
+    let poll = Duration::from_millis(cfg.heartbeat_ms.clamp(10, 250) / 2 + 5);
+
+    loop {
+        let mut live = states
+            .iter()
+            .filter(|s| matches!(s, ShardState::Running(_)))
+            .count();
+        let busy_slots: HashSet<usize> = states
+            .iter()
+            .filter_map(|s| match s {
+                ShardState::Running(r) => Some(r.worker),
+                _ => None,
+            })
+            .collect();
+        let mut free_slots = (0..cfg.workers).filter(|w| !busy_slots.contains(w));
+
+        // Assign pending shards to free worker slots. (Indexing is the
+        // point here: `k` names the shard across states, paths, and
+        // bounds, not just a slot in `states`.)
+        #[allow(clippy::needless_range_loop)]
+        for k in 0..shards {
+            if live >= cfg.workers {
+                break;
+            }
+            let ShardState::Pending {
+                attempt,
+                not_before,
+            } = states[k]
+            else {
+                continue;
+            };
+            if Instant::now() < not_before {
+                continue;
+            }
+            let Some(worker) = free_slots.next() else {
+                break;
+            };
+            match spawn_worker(job, shards, k, worker, attempt) {
+                Ok(child) => {
+                    spawned.incr(1);
+                    ever_spawned = true;
+                    states[k] = ShardState::Running(RunningShard {
+                        child,
+                        worker,
+                        attempt,
+                        last_progress: Instant::now(),
+                    });
+                    live += 1;
+                }
+                Err(err) => {
+                    if first_spawn_err.is_none() {
+                        first_spawn_err = Some(err);
+                    }
+                    states[k] = ShardState::Pending {
+                        attempt,
+                        not_before: Instant::now() + cfg.backoff(attempt + 1),
+                    };
+                }
+            }
+        }
+        if !ever_spawned {
+            if let Some(err) = first_spawn_err {
+                return Err(err);
+            }
+        }
+
+        // Poll running workers: reap exits, merge progress, detect stalls.
+        #[allow(clippy::needless_range_loop)]
+        for k in 0..shards {
+            let ShardState::Running(run) = &mut states[k] else {
+                continue;
+            };
+            let status = match run.child.try_wait() {
+                Ok(Some(status)) => Some(status),
+                Ok(None) => None,
+                Err(_) => None,
+            };
+            if let Some(status) = status {
+                let attempt = run.attempt;
+                if sup.merge_shard(k) > 0 {
+                    // Progress was made; noted for the outcome below.
+                }
+                if status.code() == Some(EXIT_QUARANTINED) {
+                    sup.read_failures(k);
+                }
+                if sup.shard_settled(k) {
+                    fold_worker_metrics(&metrics_path(job.dir, job.name, k));
+                    states[k] = ShardState::Done;
+                    continue;
+                }
+                match status.code() {
+                    Some(c) if c == EXIT_LEASE_BUSY || c == EXIT_LEASE_LOST => {
+                        // Someone else owns (or owned) the lease — no
+                        // attempt penalty, just look again shortly.
+                        states[k] = ShardState::Pending {
+                            attempt,
+                            not_before: Instant::now()
+                                + Duration::from_millis(cfg.heartbeat_ms.max(cfg.backoff_ms)),
+                        };
+                    }
+                    _ => {
+                        crashed.incr(1);
+                        reclaimed.incr(1);
+                        let next = attempt + 1;
+                        if next > cfg.retries {
+                            poisoned_c.incr(1);
+                            let (lo, hi) = shard_bounds(job.total, shards, k);
+                            let message = status_message(status);
+                            for i in lo..hi {
+                                if sup.entries[i].is_none() {
+                                    sup.failed[k].push(UnitFailure {
+                                        index: i,
+                                        attempts: next,
+                                        message: message.clone(),
+                                    });
+                                }
+                            }
+                            states[k] = ShardState::Poisoned;
+                            let _ = lori_obs::flight::dump("procpool.poisoned");
+                        } else {
+                            retries.incr(1);
+                            states[k] = ShardState::Pending {
+                                attempt: next,
+                                not_before: Instant::now() + cfg.backoff(next),
+                            };
+                        }
+                    }
+                }
+                continue;
+            }
+
+            // Still running: lease heartbeat fresh? WAL growing counts as
+            // progress too (merging mid-run also feeds on_unit, so points
+            // become durable in the caller's log before the shard ends).
+            if sup.merge_shard(k) > 0 {
+                if let ShardState::Running(run) = &mut states[k] {
+                    run.last_progress = Instant::now();
+                }
+            }
+            let ShardState::Running(run) = &mut states[k] else {
+                continue;
+            };
+            if let LeaseRead::Valid(l) = read_lease(&lease_path(job.dir, job.name, k)) {
+                if l.pid == run.child.id()
+                    && now_ms().saturating_sub(l.beat_ms) < cfg.stall_timeout_ms
+                {
+                    run.last_progress = Instant::now();
+                }
+            }
+            if run.last_progress.elapsed() > Duration::from_millis(cfg.stall_timeout_ms) {
+                // Stalled: no heartbeat, no WAL growth. Kill and reclaim.
+                let _ = run.child.kill();
+                let _ = run.child.wait();
+                killed.incr(1);
+                reclaimed.incr(1);
+                let _ = steal_lease(&lease_path(job.dir, job.name, k));
+                let attempt = run.attempt;
+                sup.merge_shard(k);
+                if sup.shard_settled(k) {
+                    states[k] = ShardState::Done;
+                    continue;
+                }
+                let next = attempt + 1;
+                if next > cfg.retries {
+                    poisoned_c.incr(1);
+                    let (lo, hi) = shard_bounds(job.total, shards, k);
+                    for i in lo..hi {
+                        if sup.entries[i].is_none() {
+                            sup.failed[k].push(UnitFailure {
+                                index: i,
+                                attempts: next,
+                                message: "worker stalled (heartbeat timeout)".to_owned(),
+                            });
+                        }
+                    }
+                    states[k] = ShardState::Poisoned;
+                } else {
+                    retries.incr(1);
+                    states[k] = ShardState::Pending {
+                        attempt: next,
+                        not_before: Instant::now() + cfg.backoff(next),
+                    };
+                }
+            }
+        }
+
+        if states
+            .iter()
+            .all(|s| matches!(s, ShardState::Done | ShardState::Poisoned))
+        {
+            break;
+        }
+        std::thread::sleep(poll);
+    }
+
+    let mut failures: Vec<UnitFailure> = sup.failed.into_iter().flatten().collect();
+    failures.sort_by_key(|f| f.index);
+    failures.dedup_by_key(|f| f.index);
+
+    if !cfg.keep_files {
+        for k in 0..shards {
+            cleanup_shard(job.dir, job.name, k);
+        }
+    }
+
+    Ok(PoolOutcome {
+        entries: sup.entries,
+        failures,
+        replayed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lori-procpool-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn shard_bounds_partition_the_axis() {
+        for total in [0usize, 1, 5, 13, 64, 100] {
+            for shards in [1usize, 2, 3, 7, 8, 200] {
+                let mut covered = Vec::new();
+                for k in 0..shards {
+                    let (lo, hi) = shard_bounds(total, shards, k);
+                    assert!(lo <= hi, "lo <= hi for {total}/{shards}/{k}");
+                    covered.extend(lo..hi);
+                }
+                let want: Vec<usize> = (0..total).collect();
+                assert_eq!(covered, want, "total {total} shards {shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_bounds_are_balanced() {
+        for k in 0..4 {
+            let (lo, hi) = shard_bounds(13, 4, k);
+            assert!(hi - lo == 3 || hi - lo == 4);
+        }
+    }
+
+    #[test]
+    fn mode_resolution_parses_strings() {
+        // Resolved from strings rather than env mutation — mode() itself
+        // just wraps this parse over LORI_WORKERS.
+        assert_eq!(Mode::Off, parse_mode(""));
+        assert_eq!(Mode::Off, parse_mode("off"));
+        assert_eq!(Mode::Off, parse_mode("0"));
+        assert_eq!(Mode::Off, parse_mode("nope"));
+        assert_eq!(Mode::Workers(4), parse_mode("4"));
+        assert_eq!(Mode::Workers(1), parse_mode(" 1 "));
+    }
+
+    fn parse_mode(s: &str) -> Mode {
+        let s = s.trim();
+        if s.is_empty() || s.eq_ignore_ascii_case("off") {
+            return Mode::Off;
+        }
+        match s.parse::<usize>() {
+            Ok(0) | Err(_) => Mode::Off,
+            Ok(n) => Mode::Workers(n),
+        }
+    }
+
+    #[test]
+    fn lease_roundtrip() {
+        let lease = Lease {
+            pid: 1234,
+            worker: 2,
+            attempt: 1,
+            beat_ms: 1_700_000_000_123,
+            state: "running".to_owned(),
+        };
+        let parsed = Lease::from_value(&lease.to_value()).unwrap();
+        assert_eq!(parsed, lease);
+    }
+
+    #[test]
+    fn claim_is_single_winner_across_racing_threads() {
+        let dir = tmp_dir("claim-race");
+        let path = dir.join("exp.shard-0.lease.json");
+        let _ = std::fs::remove_file(&path);
+        let winners: Vec<bool> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|w| {
+                    let path = path.clone();
+                    scope.spawn(move || matches!(claim(&path, w, 0, 5000), ClaimOutcome::Won(_)))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            winners.iter().filter(|&&w| w).count(),
+            1,
+            "exactly one claimant must win: {winners:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_lease_is_stolen_by_exactly_one_thief() {
+        let dir = tmp_dir("steal-race");
+        let path = dir.join("exp.shard-1.lease.json");
+        // A lease whose heartbeat is ancient and (on Linux) whose pid is
+        // dead: pid 1 is alive but beat_ms=1 is far past any timeout.
+        let stale = Lease {
+            pid: u32::MAX - 7, // almost certainly not a live pid
+            worker: 0,
+            attempt: 0,
+            beat_ms: 1,
+            state: "running".to_owned(),
+        };
+        std::fs::write(&path, stale.to_value().to_json()).unwrap();
+        let winners: Vec<bool> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..6)
+                .map(|w| {
+                    let path = path.clone();
+                    scope.spawn(move || matches!(claim(&path, w, 1, 50), ClaimOutcome::Won(_)))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // The steal (rename) has a single winner; claimants that lose the
+        // subsequent O_EXCL race report Busy. At least one thief must get
+        // through, and never more than one may hold the lease.
+        let wins = winners.iter().filter(|&&w| w).count();
+        assert_eq!(wins, 1, "single winner: {winners:?}");
+        match read_lease(&path) {
+            LeaseRead::Valid(l) => assert_eq!(l.pid, std::process::id()),
+            other => panic!("lease must be held by this process: {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fresh_lease_is_busy_not_stolen() {
+        let dir = tmp_dir("busy");
+        let path = dir.join("exp.shard-2.lease.json");
+        let fresh = Lease {
+            pid: std::process::id(), // a live pid (ours)
+            worker: 0,
+            attempt: 0,
+            beat_ms: now_ms(),
+            state: "running".to_owned(),
+        };
+        std::fs::write(&path, fresh.to_value().to_json()).unwrap();
+        assert!(matches!(claim(&path, 1, 0, 60_000), ClaimOutcome::Busy));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn done_lease_reports_done() {
+        let dir = tmp_dir("done");
+        let path = dir.join("exp.shard-3.lease.json");
+        let done = Lease {
+            pid: 1,
+            worker: 0,
+            attempt: 0,
+            beat_ms: 1,
+            state: "done".to_owned(),
+        };
+        std::fs::write(&path, done.to_value().to_json()).unwrap();
+        assert!(matches!(claim(&path, 1, 0, 50), ClaimOutcome::Done));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn beat_detects_a_stolen_lease() {
+        let dir = tmp_dir("beat");
+        let path = dir.join("exp.shard-4.lease.json");
+        let ClaimOutcome::Won(handle) = claim(&path, 0, 0, 5000) else {
+            panic!("claim must win on a fresh path");
+        };
+        assert!(handle.beat("running"), "own lease refreshes");
+        // A thief replaces the lease: the next beat must report loss
+        // instead of clobbering the thief's claim.
+        let thief = Lease {
+            pid: std::process::id().wrapping_add(1),
+            worker: 9,
+            attempt: 3,
+            beat_ms: now_ms(),
+            state: "running".to_owned(),
+        };
+        std::fs::write(&path, thief.to_value().to_json()).unwrap();
+        assert!(!handle.beat("running"), "stolen lease must not be beaten");
+        match read_lease(&path) {
+            LeaseRead::Valid(l) => assert_eq!(l.worker, 9, "thief's lease intact"),
+            other => panic!("unexpected: {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_lease_is_stolen_only_when_old() {
+        let dir = tmp_dir("corrupt");
+        let path = dir.join("exp.shard-5.lease.json");
+        std::fs::write(&path, b"{definitely not a lease").unwrap();
+        // Young corrupt file: treated as a claim mid-write -> Busy.
+        assert!(matches!(claim(&path, 0, 0, 60_000), ClaimOutcome::Busy));
+        // Same file against a 0ms timeout: aged out -> stolen and won.
+        assert!(matches!(claim(&path, 0, 0, 0), ClaimOutcome::Won(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pid_alive_on_linux_sees_this_process() {
+        if let Some(alive) = pid_alive(std::process::id()) {
+            assert!(alive);
+        }
+    }
+}

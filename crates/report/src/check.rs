@@ -92,6 +92,7 @@ pub fn check_run(results_dir: &Path, name: &str) -> Result<CheckReport, ReportEr
 
     let mut report = CheckReport::default();
     check_manifest(&manifest, name, &mut report);
+    check_shards(results_dir, name, &mut report);
 
     let wall_ms = manifest.get("wall_ms").and_then(Value::as_f64);
     let events_path = results_dir.join(format!("{name}.events.jsonl"));
@@ -226,6 +227,97 @@ fn check_metrics(manifest: &Value, wall_ms: Option<f64>, report: &mut CheckRepor
         report.pass("metrics object empty (nothing to validate)");
     } else if finite == metrics.len() && report.failures.len() == failures_before {
         report.pass(format!("all {finite} metrics finite and plausible"));
+    }
+}
+
+/// Flags procpool shard litter a healthy run must not leave behind:
+/// leases held by dead pids (a crashed worker nobody reclaimed) and shard
+/// WALs whose unit range is complete but was never merged into the run's
+/// artifacts (a supervisor died after the work was done). Incomplete
+/// leftovers are warnings — they are what a resumable crash looks like
+/// and the next run will consume them.
+pub fn check_shards(results_dir: &Path, name: &str, report: &mut CheckReport) {
+    use lori_par::procpool;
+
+    let Ok(entries) = std::fs::read_dir(results_dir) else {
+        return;
+    };
+    let prefix = format!("{name}.shard-");
+    let mut found = 0usize;
+    for entry in entries.flatten() {
+        let fname = entry.file_name();
+        let Some(fname) = fname.to_str() else {
+            continue;
+        };
+        let Some(rest) = fname.strip_prefix(&prefix) else {
+            continue;
+        };
+        found += 1;
+        if rest.ends_with(".lease.json") {
+            match procpool::read_lease(&entry.path()) {
+                procpool::LeaseRead::Valid(lease) if lease.state == "running" => {
+                    match procpool::pid_alive(lease.pid) {
+                        Some(false) => report.fail(format!(
+                            "orphaned lease {fname}: held as 'running' by dead pid {} — \
+                             the worker died and no supervisor reclaimed its shard",
+                            lease.pid
+                        )),
+                        Some(true) => report.warn(format!(
+                            "lease {fname} held by live pid {} (run still in progress?)",
+                            lease.pid
+                        )),
+                        None => report.warn(format!(
+                            "lease {fname} in state 'running' (pid liveness unknown here)"
+                        )),
+                    }
+                }
+                procpool::LeaseRead::Valid(_) => report.warn(format!(
+                    "leftover lease {fname}: shard finished but was never cleaned up"
+                )),
+                procpool::LeaseRead::Corrupt(_) => {
+                    report.fail(format!(
+                        "lease {fname} does not parse (torn or corrupt write)"
+                    ));
+                }
+                procpool::LeaseRead::Missing => {}
+            }
+        } else if rest.ends_with(".wal.jsonl") {
+            let replayed = lori_fault::replay(entry.path());
+            let range = replayed
+                .header
+                .as_ref()
+                .and_then(|h| Some((h.get("lo")?.as_f64()?, h.get("hi")?.as_f64()?)));
+            match range {
+                Some((lo, hi)) if hi > lo => {
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    let want = (hi - lo) as u64;
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    let lo = lo as u64;
+                    let have = replayed
+                        .entries
+                        .iter()
+                        .map(|(i, _)| *i)
+                        .filter(|i| (lo..lo + want).contains(i))
+                        .collect::<std::collections::BTreeSet<_>>()
+                        .len() as u64;
+                    if have >= want {
+                        report.fail(format!(
+                            "shard WAL {fname} is complete ({have}/{want} units) but unmerged — \
+                             a supervisor died after the work was done; rerun to merge"
+                        ));
+                    } else {
+                        report.warn(format!(
+                            "shard WAL {fname} leftover with partial progress ({have}/{want} \
+                             units); the next run will resume it"
+                        ));
+                    }
+                }
+                _ => report.warn(format!("shard WAL {fname} has no parsable shard header")),
+            }
+        }
+    }
+    if found == 0 {
+        report.pass("no shard litter (leases or shard WALs)");
     }
 }
 
@@ -474,6 +566,111 @@ mod tests {
             .passed
             .iter()
             .any(|p| p.contains("trace context intact")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn shard_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("lori-report-shard-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn shard_header(lo: u64, hi: u64) -> Value {
+        Value::Obj(vec![
+            ("fp".to_owned(), Value::from("test")),
+            ("shard".to_owned(), Value::from(0u64)),
+            ("lo".to_owned(), Value::from(lo)),
+            ("hi".to_owned(), Value::from(hi)),
+        ])
+    }
+
+    #[test]
+    fn flags_lease_held_by_dead_pid() {
+        // Regression fixture: a worker crashed without a supervisor left
+        // to reclaim its lease. Pid 999_999_999 exceeds any Linux pid_max.
+        let dir = shard_dir("deadpid");
+        std::fs::write(
+            dir.join("exp-unit.shard-0.lease.json"),
+            r#"{"pid": 999999999, "worker": 0, "attempt": 0, "beat_ms": 5, "state": "running"}"#,
+        )
+        .unwrap();
+        let mut report = CheckReport::default();
+        check_shards(&dir, "exp-unit", &mut report);
+        if lori_par::procpool::pid_alive(999_999_999).is_some() {
+            assert!(
+                report.failures.iter().any(|f| f.contains("dead pid")),
+                "failures: {:?}",
+                report.failures
+            );
+        } else {
+            assert!(!report.warnings.is_empty());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flags_complete_but_unmerged_shard_wal() {
+        let dir = shard_dir("unmerged");
+        let path = dir.join("exp-unit.shard-0.wal.jsonl");
+        let mut wal = lori_fault::WalWriter::create(&path, &shard_header(0, 2)).unwrap();
+        wal.append(0, &Value::from(1.5)).unwrap();
+        wal.append(1, &Value::from(2.5)).unwrap();
+        drop(wal);
+        let mut report = CheckReport::default();
+        check_shards(&dir, "exp-unit", &mut report);
+        assert!(
+            report
+                .failures
+                .iter()
+                .any(|f| f.contains("complete") && f.contains("unmerged")),
+            "failures: {:?}",
+            report.failures
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn partial_shard_wal_and_done_lease_only_warn() {
+        let dir = shard_dir("partial");
+        let path = dir.join("exp-unit.shard-0.wal.jsonl");
+        let mut wal = lori_fault::WalWriter::create(&path, &shard_header(0, 3)).unwrap();
+        wal.append(0, &Value::from(1.5)).unwrap();
+        drop(wal);
+        std::fs::write(
+            dir.join("exp-unit.shard-1.lease.json"),
+            r#"{"pid": 1, "worker": 1, "attempt": 0, "beat_ms": 5, "state": "done"}"#,
+        )
+        .unwrap();
+        let mut report = CheckReport::default();
+        check_shards(&dir, "exp-unit", &mut report);
+        assert!(report.ok(), "failures: {:?}", report.failures);
+        assert!(
+            report
+                .warnings
+                .iter()
+                .any(|w| w.contains("partial progress")),
+            "warnings: {:?}",
+            report.warnings
+        );
+        assert!(
+            report
+                .warnings
+                .iter()
+                .any(|w| w.contains("never cleaned up")),
+            "warnings: {:?}",
+            report.warnings
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clean_dir_passes_shard_check() {
+        let dir = shard_dir("clean");
+        let mut report = CheckReport::default();
+        check_shards(&dir, "exp-unit", &mut report);
+        assert!(report.ok());
+        assert!(report.passed.iter().any(|p| p.contains("no shard litter")));
         std::fs::remove_dir_all(&dir).ok();
     }
 

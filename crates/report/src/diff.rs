@@ -6,8 +6,10 @@
 //! past `threshold_pct` in its bad direction — higher for wall-time keys,
 //! lower for throughput keys. Because wall time is only comparable across
 //! equal hardware, the gate consults the records' `cores` fields and
-//! downgrades failures to warnings when the machines differ or the current
-//! machine is a 1-core runner (which cannot show parallel speedup at all).
+//! downgrades failures to warnings only when the machines differ: equal
+//! core counts gate hard, including 1-core runners, whose wall times are
+//! just as reproducible against a 1-core baseline. (Parallel *speedup* on
+//! one core is still ~1.0 on both sides, so it cannot trip a ratio gate.)
 
 use lori_obs::Value;
 use std::collections::BTreeMap;
@@ -128,12 +130,13 @@ pub fn diff(base: &Value, cur: &Value, gate_pct: Option<f64>) -> DiffReport {
 
     // Wall-time comparisons only mean something on equal hardware: consult
     // the records' own `cores` fields (recorded at bench time exactly for
-    // this) and demote failures to warnings when they disagree or the
-    // current machine is single-core.
+    // this) and demote failures to warnings when they disagree. Equal
+    // counts — including 1 == 1 — gate hard: a slowdown measured on the
+    // same-shaped machine is a real regression.
     let base_cores = base_map.get("cores").copied();
     let cur_cores = cur_map.get("cores").copied();
     let comparable = match (base_cores, cur_cores) {
-        (Some(b), Some(c)) => b == c && c > 1.0,
+        (Some(b), Some(c)) => b == c,
         _ => false,
     };
 
@@ -258,12 +261,24 @@ mod tests {
     }
 
     #[test]
-    fn gate_warns_only_on_single_core_runner() {
+    fn matching_single_core_runners_gate_hard() {
+        // A 1-core baseline against a 1-core candidate is honest,
+        // like-for-like hardware: regressions must fail, not warn.
         let base = bench(1, 2.0, 6.5);
         let cur = bench(1, 4.0, 3.25);
         let report = diff(&base, &cur, Some(25.0));
-        assert!(report.gate_ok(), "1-core runners never hard-fail");
-        assert_eq!(report.gate_warnings.len(), 2);
+        assert!(!report.gate_ok(), "equal core counts gate hard");
+        assert_eq!(report.gate_failures.len(), 2);
+        assert!(report.gate_warnings.is_empty());
+    }
+
+    #[test]
+    fn missing_cores_field_demotes_to_warning() {
+        let base = Value::parse(r#"{"parallel": {"wall_s": 2.0}}"#).unwrap();
+        let cur = Value::parse(r#"{"parallel": {"wall_s": 9.0}}"#).unwrap();
+        let report = diff(&base, &cur, Some(25.0));
+        assert!(report.gate_ok(), "unknown hardware cannot hard-fail");
+        assert_eq!(report.gate_warnings.len(), 1);
     }
 
     #[test]
