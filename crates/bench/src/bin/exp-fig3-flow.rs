@@ -7,6 +7,7 @@
 //! library of thousands of cells "within seconds"; the resulting guardbands
 //! are less pessimistic than worst-case corners while remaining safe.
 
+use lori_bench::harness::results_dir;
 use lori_bench::{fmt, render_table, Harness};
 use lori_circuit::characterize::{characterize_library, Corner};
 use lori_circuit::flow::{run_she_flow, SheFlowConfig};
@@ -17,6 +18,7 @@ use lori_circuit::netlist::processor_datapath;
 use lori_circuit::spicelike::GoldenSimulator;
 use lori_circuit::tech::TechParams;
 use lori_core::units::Celsius;
+use lori_obs::Value;
 use std::time::Instant;
 
 fn main() {
@@ -149,6 +151,60 @@ fn main() {
         "accurate guardband below worst-case corner",
         flow.pessimism_reduction() > 0.0,
     );
+
+    // Deterministic guardband artifact (no timestamps, atomic write).
+    // The engine and legacy STA substrates must produce byte-identical
+    // files at any thread count — CI compares them with `cmp`.
+    let doc = Value::Obj(vec![
+        (
+            "nominal_max_arrival_ps".to_owned(),
+            Value::from(flow.nominal.max_arrival_ps),
+        ),
+        (
+            "accurate_max_arrival_ps".to_owned(),
+            Value::from(flow.accurate.max_arrival_ps),
+        ),
+        (
+            "worst_case_max_arrival_ps".to_owned(),
+            Value::from(flow.worst_case.max_arrival_ps),
+        ),
+        (
+            "accurate_margin_ps".to_owned(),
+            Value::from(flow.accurate_guardband().margin_ps()),
+        ),
+        (
+            "worst_case_margin_ps".to_owned(),
+            Value::from(flow.worst_case_guardband().margin_ps()),
+        ),
+        (
+            "pessimism_reduction".to_owned(),
+            Value::from(flow.pessimism_reduction()),
+        ),
+        (
+            "instance_she_k".to_owned(),
+            Value::Arr(
+                flow.instance_she_k
+                    .iter()
+                    .map(|&v| Value::from(v))
+                    .collect(),
+            ),
+        ),
+        (
+            "instance_delta_vth_v".to_owned(),
+            Value::Arr(
+                flow.instance_delta_vth_v
+                    .iter()
+                    .map(|&v| Value::from(v))
+                    .collect(),
+            ),
+        ),
+    ]);
+    let path = results_dir().join("exp-fig3-flow.guardbands.json");
+    match lori_fault::atomic_write(&path, format!("{}\n", doc.to_json()).as_bytes()) {
+        Ok(()) => println!("guardband data: {}", path.display()),
+        Err(err) => eprintln!("warning: guardband data not written: {err}"),
+    }
+
     if let Err(err) = h.finish() {
         eprintln!("warning: manifest not written: {err}");
     }

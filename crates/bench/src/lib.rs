@@ -12,8 +12,8 @@ pub mod resume;
 
 pub use harness::Harness;
 pub use perf::{
-    write_bench_arch, write_bench_cache, write_bench_obs, write_bench_sweep, ArchGroup,
-    CacheTiming, SweepTiming,
+    write_bench_arch, write_bench_cache, write_bench_obs, write_bench_sta, write_bench_sweep,
+    ArchGroup, CacheTiming, StaDesign, SweepTiming,
 };
 pub use progress::Progress;
 pub use resume::{resumable_sweep, SweepOutcome};

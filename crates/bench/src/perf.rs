@@ -296,6 +296,121 @@ pub fn write_bench_arch(lanes: usize, ff_vulnerability: ArchGroup, anomaly: Arch
     path
 }
 
+/// One design's full-pass vs incremental-edit STA measurement.
+#[derive(Debug, Clone)]
+pub struct StaDesign {
+    /// Design label (doubles as the JSON key, e.g. `random_logic_2000`).
+    pub name: String,
+    /// Instances in the netlist.
+    pub instances: usize,
+    /// Full from-scratch passes timed.
+    pub full_passes: usize,
+    /// Wall-clock seconds for all full passes.
+    pub full_wall_s: f64,
+    /// Single-instance edits re-timed incrementally.
+    pub edits: usize,
+    /// Wall-clock seconds for all incremental edits.
+    pub incremental_wall_s: f64,
+}
+
+impl StaDesign {
+    /// How many times faster one incremental single-edit retime is than
+    /// one full from-scratch pass.
+    #[must_use]
+    pub fn single_edit_speedup(&self) -> f64 {
+        if self.full_passes == 0 || self.edits == 0 || self.incremental_wall_s <= 0.0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let full_per = self.full_wall_s / self.full_passes as f64;
+        #[allow(clippy::cast_precision_loss)]
+        let inc_per = self.incremental_wall_s / self.edits as f64;
+        if inc_per > 0.0 {
+            full_per / inc_per
+        } else {
+            0.0
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        #[allow(clippy::cast_precision_loss)]
+        let per_s = |count: usize, wall_s: f64| {
+            if wall_s > 0.0 {
+                count as f64 / wall_s
+            } else {
+                0.0
+            }
+        };
+        Value::Obj(vec![
+            ("instances".to_owned(), Value::from(self.instances as u64)),
+            (
+                "full".to_owned(),
+                Value::Obj(vec![
+                    ("passes".to_owned(), Value::from(self.full_passes as u64)),
+                    ("wall_s".to_owned(), Value::from(self.full_wall_s)),
+                    (
+                        "passes_per_s".to_owned(),
+                        Value::from(per_s(self.full_passes, self.full_wall_s)),
+                    ),
+                ]),
+            ),
+            (
+                "incremental".to_owned(),
+                Value::Obj(vec![
+                    ("edits".to_owned(), Value::from(self.edits as u64)),
+                    ("wall_s".to_owned(), Value::from(self.incremental_wall_s)),
+                    (
+                        "edits_per_s".to_owned(),
+                        Value::from(per_s(self.edits, self.incremental_wall_s)),
+                    ),
+                ]),
+            ),
+            (
+                "single_edit_speedup".to_owned(),
+                Value::from(self.single_edit_speedup()),
+            ),
+        ])
+    }
+}
+
+/// Writes `results/BENCH_sta.json` — the incremental STA record: for each
+/// design size, full from-scratch pass throughput vs single-instance
+/// incremental retime throughput on the `StaEngine`, plus the per-edit
+/// speedup. Returns the path written.
+///
+/// # Panics
+///
+/// Panics if the results directory cannot be created or the file cannot be
+/// written — a perf record that silently fails to persist is worse than a
+/// loud failure in a bench run.
+pub fn write_bench_sta(designs: &[StaDesign]) -> PathBuf {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let doc = Value::Obj(vec![
+        ("bench".to_owned(), Value::from("sta_incremental")),
+        ("cores".to_owned(), Value::from(cores as u64)),
+        (
+            "designs".to_owned(),
+            Value::Obj(
+                designs
+                    .iter()
+                    .map(|d| (d.name.clone(), d.to_value()))
+                    .collect(),
+            ),
+        ),
+        (
+            "version".to_owned(),
+            Value::from(lori_obs::version_string()),
+        ),
+    ]);
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_sta.json");
+    // Atomic replace, same contract as BENCH_sweep.json.
+    lori_fault::atomic_write(&path, format!("{}\n", doc.to_json()).as_bytes())
+        .expect("write BENCH_sta.json");
+    path
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,6 +448,51 @@ mod tests {
         );
         let an = v.get("anomaly_campaign").expect("anomaly block");
         assert_eq!(an.get("speedup").and_then(Value::as_f64), Some(20.0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_sta_record_round_trips() {
+        let dir = std::env::temp_dir().join(format!("lori-perf-sta-{}", std::process::id()));
+        std::env::set_var("LORI_RESULTS_DIR", &dir);
+        let design = StaDesign {
+            name: "random_logic_2000".to_owned(),
+            instances: 2000,
+            full_passes: 10,
+            full_wall_s: 1.0,
+            edits: 1000,
+            incremental_wall_s: 0.5,
+        };
+        assert!((design.single_edit_speedup() - 200.0).abs() < 1e-9);
+        let path = write_bench_sta(&[design]);
+        std::env::remove_var("LORI_RESULTS_DIR");
+        let text = std::fs::read_to_string(&path).expect("record written");
+        let v = Value::parse(&text).expect("valid json");
+        assert_eq!(
+            v.get("bench").and_then(Value::as_str),
+            Some("sta_incremental")
+        );
+        let d = v
+            .get("designs")
+            .and_then(|d| d.get("random_logic_2000"))
+            .expect("design block");
+        assert_eq!(d.get("instances").and_then(Value::as_f64), Some(2000.0));
+        assert_eq!(
+            d.get("full")
+                .and_then(|f| f.get("passes_per_s"))
+                .and_then(Value::as_f64),
+            Some(10.0)
+        );
+        assert_eq!(
+            d.get("incremental")
+                .and_then(|i| i.get("edits_per_s"))
+                .and_then(Value::as_f64),
+            Some(2000.0)
+        );
+        assert_eq!(
+            d.get("single_edit_speedup").and_then(Value::as_f64),
+            Some(200.0)
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -5,10 +5,21 @@
 //! the experiments run on: ripple-carry adders, array multipliers, random
 //! control logic, and a composite "processor datapath" standing in for the
 //! paper's RISC-V core case study (Fig. 2).
+//!
+//! The netlist carries an indexed graph core (see [`NetlistIndex`]): a
+//! CSR-style sink index per net, primary-output multiplicities, and the
+//! cached topological order. The index is built once on first use and
+//! survives *timing-only* edits ([`Netlist::swap_cell`],
+//! [`Netlist::set_activity`]), which instead land in a dirty-set that the
+//! incremental STA engine (`crate::sta::StaEngine`) drains to re-time only
+//! the affected fanout cones. Structural edits (adding nets, gates, or
+//! outputs) bump a generation counter and drop the cached index, which
+//! also invalidates any engine built on top of it.
 
 use crate::cell::{CellId, CellKind, Library};
 use crate::error::CircuitError;
 use lori_core::Rng;
+use std::sync::{Mutex, OnceLock};
 
 /// Index of a net within a netlist.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -40,13 +51,129 @@ pub struct Instance {
     pub activity: f64,
 }
 
+/// A timing-only netlist edit, recorded in the dirty-set for incremental
+/// consumers (notably `crate::sta::StaEngine::refresh`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetlistEdit {
+    /// The instance's cell binding changed (timing functions and input-pin
+    /// capacitances — the loads of its input nets move with it).
+    Cell(InstId),
+    /// The instance's switching activity changed. Activity feeds power,
+    /// SHE, and aging models but never STA, so this edit re-times nothing.
+    Activity(InstId),
+}
+
+/// The indexed graph core of a netlist: CSR sink index, primary-output
+/// multiplicities, and the cached topological order. Built lazily, shared
+/// by `fanout`, `net_loads`, and the incremental STA engine; dropped on
+/// any structural edit.
+#[derive(Debug, Clone)]
+pub(crate) struct NetlistIndex {
+    /// CSR offsets into `sink_pins`, one slice per net (`net_count + 1`).
+    sink_offsets: Vec<u32>,
+    /// One entry per (instance, input pin) consuming the net, grouped by
+    /// net in (instance, pin) order — the exact order the legacy
+    /// `net_loads` scan visited them, which keeps float sums identical.
+    sink_pins: Vec<InstId>,
+    /// How many times each net appears in the primary-output list.
+    po_count: Vec<u32>,
+    /// Topological order of instances, or the cycle error.
+    topo: Result<Vec<InstId>, CircuitError>,
+    /// Position of each instance in `topo` (valid only when `topo` is Ok).
+    topo_pos: Vec<u32>,
+}
+
+impl NetlistIndex {
+    /// Per-pin sinks of a net, in (instance, pin) order. Out-of-range nets
+    /// have no sinks.
+    pub(crate) fn sink_pins(&self, net: NetId) -> &[InstId] {
+        if net.0 + 1 >= self.sink_offsets.len() {
+            return &[];
+        }
+        let lo = self.sink_offsets[net.0] as usize;
+        let hi = self.sink_offsets[net.0 + 1] as usize;
+        &self.sink_pins[lo..hi]
+    }
+
+    /// Number of times the net is marked as a primary output.
+    pub(crate) fn po_count(&self, net: NetId) -> u32 {
+        self.po_count.get(net.0).copied().unwrap_or(0)
+    }
+
+    /// The cached topological order.
+    pub(crate) fn topo(&self) -> Result<&[InstId], CircuitError> {
+        match &self.topo {
+            Ok(order) => Ok(order),
+            Err(err) => Err(err.clone()),
+        }
+    }
+
+    /// Position of an instance in the topological order.
+    pub(crate) fn topo_pos(&self, inst: InstId) -> u32 {
+        self.topo_pos[inst.0]
+    }
+}
+
+/// A cheap structural fingerprint of the library facts `validate` reads:
+/// the cell count and, per cell, the logic kind (which fixes pin arity).
+/// Two libraries with equal fingerprints validate identically against any
+/// netlist, so the fingerprint is a sound cache key.
+fn library_validation_fingerprint(lib: &Library) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    let mut eat = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for byte in lib.len().to_le_bytes() {
+        eat(byte);
+    }
+    for (_, cell) in lib.iter() {
+        for byte in cell.kind.prefix().bytes() {
+            eat(byte);
+        }
+        eat(0xff);
+    }
+    h
+}
+
 /// A gate-level netlist.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Netlist {
     drivers: Vec<Option<Driver>>,
     instances: Vec<Instance>,
     primary_inputs: Vec<NetId>,
     primary_outputs: Vec<NetId>,
+    /// Bumped on every structural edit; incremental engines compare it to
+    /// detect that their cached state no longer describes this netlist.
+    generation: u64,
+    /// Timing-only edits since the last `take_dirty` drain.
+    dirty: Vec<NetlistEdit>,
+    /// Lazily built graph index; dropped on structural edits.
+    index: OnceLock<NetlistIndex>,
+    /// Library fingerprints this structure has validated cleanly against.
+    /// Cleared on structural and cell edits (activity cannot affect
+    /// validation).
+    validated: Mutex<Vec<u64>>,
+}
+
+impl Clone for Netlist {
+    fn clone(&self) -> Self {
+        Netlist {
+            drivers: self.drivers.clone(),
+            instances: self.instances.clone(),
+            primary_inputs: self.primary_inputs.clone(),
+            primary_outputs: self.primary_outputs.clone(),
+            generation: self.generation,
+            dirty: self.dirty.clone(),
+            index: self.index.clone(),
+            validated: Mutex::new(
+                self.validated
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .clone(),
+            ),
+        }
+    }
 }
 
 impl Netlist {
@@ -56,8 +183,22 @@ impl Netlist {
         Netlist::default()
     }
 
+    /// Invalidates every structure-derived cache. Called by all structural
+    /// edits; timing-only edits must NOT call this (that is the point of
+    /// the dirty-set).
+    fn structural_edit(&mut self) {
+        self.generation += 1;
+        self.index.take();
+        self.dirty.clear();
+        self.validated
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+    }
+
     /// Adds a primary input net.
     pub fn add_input(&mut self) -> NetId {
+        self.structural_edit();
         let id = NetId(self.drivers.len());
         self.drivers.push(Some(Driver::PrimaryInput));
         self.primary_inputs.push(id);
@@ -72,6 +213,7 @@ impl Netlist {
         inputs: &[NetId],
         activity: f64,
     ) -> NetId {
+        self.structural_edit();
         let out = NetId(self.drivers.len());
         self.drivers.push(None);
         let inst = InstId(self.instances.len());
@@ -92,7 +234,141 @@ impl Netlist {
 
     /// Marks a net as a primary output.
     pub fn mark_output(&mut self, net: NetId) {
+        self.structural_edit();
         self.primary_outputs.push(net);
+    }
+
+    /// The structural generation: bumped by every edit that changes the
+    /// graph (nets, gates, outputs). Timing-only edits leave it untouched.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Rebinds an instance to a different library cell (resize / swap): a
+    /// timing-only edit. The graph, the cached index, and the topological
+    /// order all survive; the edit lands in the dirty-set for incremental
+    /// consumers. The new cell must have the same pin arity — that is
+    /// checked by `validate` and by the STA engine when the edit is
+    /// consumed (this method has no library to check against).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::DanglingReference`] for an out-of-range
+    /// instance id.
+    pub fn swap_cell(&mut self, inst: InstId, cell: CellId) -> Result<(), CircuitError> {
+        let slot = self
+            .instances
+            .get_mut(inst.0)
+            .ok_or(CircuitError::DanglingReference {
+                what: "instance",
+                index: inst.0,
+            })?;
+        slot.cell = cell;
+        // A different cell may have a different arity: cached validation
+        // verdicts no longer apply.
+        self.validated
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+        self.dirty.push(NetlistEdit::Cell(inst));
+        Ok(())
+    }
+
+    /// Retunes an instance's switching activity (clamped to `[0, 1]`): a
+    /// timing-only edit recorded in the dirty-set. Activity never enters
+    /// STA, so consuming this edit re-times nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::DanglingReference`] for an out-of-range
+    /// instance id.
+    pub fn set_activity(&mut self, inst: InstId, activity: f64) -> Result<(), CircuitError> {
+        let slot = self
+            .instances
+            .get_mut(inst.0)
+            .ok_or(CircuitError::DanglingReference {
+                what: "instance",
+                index: inst.0,
+            })?;
+        slot.activity = activity.clamp(0.0, 1.0);
+        self.dirty.push(NetlistEdit::Activity(inst));
+        Ok(())
+    }
+
+    /// Drains the dirty-set of timing-only edits accumulated since the
+    /// last drain. Single-consumer: the engine that drains it is the one
+    /// that sees the edits.
+    pub fn take_dirty(&mut self) -> Vec<NetlistEdit> {
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// The pending (undrained) timing-only edits.
+    #[must_use]
+    pub fn dirty(&self) -> &[NetlistEdit] {
+        &self.dirty
+    }
+
+    /// The graph index, building it on first use.
+    pub(crate) fn index(&self) -> &NetlistIndex {
+        self.index.get_or_init(|| self.build_index())
+    }
+
+    fn build_index(&self) -> NetlistIndex {
+        let n_nets = self.drivers.len();
+        let n_inst = self.instances.len();
+
+        // CSR sink index: count, prefix-sum, fill. Iterating instances in
+        // id order (and pins in pin order) groups each net's entries in
+        // (instance, pin) order. Out-of-range input nets (possible only in
+        // netlists that fail validation) are skipped.
+        let mut sink_offsets = vec![0u32; n_nets + 1];
+        for inst in &self.instances {
+            for &net in &inst.inputs {
+                if net.0 < n_nets {
+                    sink_offsets[net.0 + 1] += 1;
+                }
+            }
+        }
+        for i in 0..n_nets {
+            sink_offsets[i + 1] += sink_offsets[i];
+        }
+        let mut cursor: Vec<u32> = sink_offsets[..n_nets].to_vec();
+        let mut sink_pins = vec![InstId(0); sink_offsets[n_nets] as usize];
+        for (i, inst) in self.instances.iter().enumerate() {
+            for &net in &inst.inputs {
+                if net.0 < n_nets {
+                    sink_pins[cursor[net.0] as usize] = InstId(i);
+                    cursor[net.0] += 1;
+                }
+            }
+        }
+
+        let mut po_count = vec![0u32; n_nets];
+        for &net in &self.primary_outputs {
+            if net.0 < n_nets {
+                po_count[net.0] += 1;
+            }
+        }
+
+        let topo = self.compute_topological_order();
+        let mut topo_pos = vec![0u32; n_inst];
+        if let Ok(order) = &topo {
+            for (pos, inst) in order.iter().enumerate() {
+                #[allow(clippy::cast_possible_truncation)]
+                {
+                    topo_pos[inst.0] = pos as u32;
+                }
+            }
+        }
+
+        NetlistIndex {
+            sink_offsets,
+            sink_pins,
+            po_count,
+            topo,
+            topo_pos,
+        }
     }
 
     /// Number of nets.
@@ -132,14 +408,22 @@ impl Netlist {
     }
 
     /// The instances whose inputs include `net` (the net's fanout).
+    ///
+    /// Served from the CSR sink index in O(fanout) — the legacy
+    /// implementation scanned every instance per call. An instance with
+    /// several pins on the net appears once.
     #[must_use]
     pub fn fanout(&self, net: NetId) -> Vec<InstId> {
-        self.instances
-            .iter()
-            .enumerate()
-            .filter(|(_, inst)| inst.inputs.contains(&net))
-            .map(|(i, _)| InstId(i))
-            .collect()
+        let pins = self.index().sink_pins(net);
+        let mut out = Vec::with_capacity(pins.len());
+        for &inst in pins {
+            // Same-instance pins are adjacent in the (instance, pin)-ordered
+            // slice, so consecutive dedup is exact.
+            if out.last() != Some(&inst) {
+                out.push(inst);
+            }
+        }
+        out
     }
 
     /// Validates the netlist against a library: pin arity, references, and
@@ -151,6 +435,40 @@ impl Netlist {
     /// [`CircuitError::FloatingNet`] for an undriven net used as an input,
     /// or [`CircuitError::UnknownCell`] via arity checks.
     pub fn validate(&self, lib: &Library) -> Result<(), CircuitError> {
+        self.validate_uncached(lib)
+    }
+
+    /// [`Netlist::validate`], memoized per library fingerprint: a clean
+    /// verdict is cached and survives timing-only edits that cannot change
+    /// it (activity retunes; cell swaps clear the cache because arity may
+    /// change). Structural edits clear the cache. Errors are never cached.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Netlist::validate`].
+    pub fn validate_cached(&self, lib: &Library) -> Result<(), CircuitError> {
+        let fp = library_validation_fingerprint(lib);
+        {
+            let seen = self
+                .validated
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if seen.contains(&fp) {
+                return Ok(());
+            }
+        }
+        self.validate_uncached(lib)?;
+        let mut seen = self
+            .validated
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if !seen.contains(&fp) {
+            seen.push(fp);
+        }
+        Ok(())
+    }
+
+    fn validate_uncached(&self, lib: &Library) -> Result<(), CircuitError> {
         for inst in &self.instances {
             if inst.cell.0 >= lib.len() {
                 return Err(CircuitError::DanglingReference {
@@ -191,12 +509,17 @@ impl Netlist {
     }
 
     /// A topological order of instances (every instance appears after the
-    /// drivers of all its inputs).
+    /// drivers of all its inputs). Served from the cached index; the order
+    /// is computed once per structural generation.
     ///
     /// # Errors
     ///
     /// Returns [`CircuitError::CombinationalCycle`] if no such order exists.
     pub fn topological_order(&self) -> Result<Vec<InstId>, CircuitError> {
+        Ok(self.index().topo()?.to_vec())
+    }
+
+    fn compute_topological_order(&self) -> Result<Vec<InstId>, CircuitError> {
         let n = self.instances.len();
         // In-degree = number of input nets driven by instances not yet placed.
         let mut indegree = vec![0usize; n];
@@ -246,7 +569,7 @@ impl Netlist {
         for (&net, &v) in self.primary_inputs.iter().zip(inputs) {
             values[net.0] = v;
         }
-        for inst_id in self.topological_order()? {
+        for &inst_id in self.index().topo()? {
             let inst = &self.instances[inst_id.0];
             let ins: Vec<bool> = inst.inputs.iter().map(|&n| values[n.0]).collect();
             values[inst.output.0] = lib.cell(inst.cell).kind.eval(&ins);

@@ -1,0 +1,361 @@
+//! Incremental-vs-full STA equivalence: randomized edit schedules on the
+//! standard design generators, asserting exact [`StaReport`] equality
+//! between the incremental engine and a from-scratch pass after every
+//! single edit.
+//!
+//! Determinism is the repo's contract: the engine's cone re-timing must be
+//! byte-identical to a full recompute, not merely close. Every assertion
+//! here is `assert_eq!` on the full report (all per-instance vectors, the
+//! critical path, and `max_arrival_ps`), never an epsilon comparison.
+
+use lori_circuit::cell::{CellId, Library};
+use lori_circuit::characterize::{characterize_library, Corner};
+use lori_circuit::error::CircuitError;
+use lori_circuit::netlist::{
+    array_multiplier, processor_datapath, random_logic, ripple_carry_adder, Driver, InstId, NetId,
+    Netlist,
+};
+use lori_circuit::spicelike::GoldenSimulator;
+use lori_circuit::sta::{run_sta, InstanceTiming, StaConfig, StaEngine, StaReport};
+use lori_circuit::tech::TechParams;
+use lori_core::Rng;
+use std::sync::OnceLock;
+
+fn lib() -> &'static Library {
+    static LIB: OnceLock<Library> = OnceLock::new();
+    LIB.get_or_init(|| {
+        let sim = GoldenSimulator::new(TechParams::default()).unwrap();
+        characterize_library(&sim, &Corner::default()).unwrap()
+    })
+}
+
+/// The four standard generators at test-friendly sizes.
+fn designs() -> Vec<(&'static str, Netlist)> {
+    vec![
+        ("ripple_carry_adder", ripple_carry_adder(lib(), 8).unwrap()),
+        ("array_multiplier", array_multiplier(lib(), 5).unwrap()),
+        ("random_logic", random_logic(lib(), 12, 300, 3).unwrap()),
+        (
+            "processor_datapath",
+            processor_datapath(lib(), 6, 5).unwrap(),
+        ),
+    ]
+}
+
+/// From-scratch reference: a fresh full pass over the same netlist with
+/// the same sparse override set the engine currently holds.
+fn scratch_report(
+    netlist: &Netlist,
+    config: &StaConfig,
+    overrides: &[Option<InstanceTiming>],
+) -> StaReport {
+    StaEngine::with_sparse_overrides(netlist, lib(), config, overrides)
+        .unwrap()
+        .into_report()
+}
+
+/// Instances driving a primary output net.
+fn po_drivers(netlist: &Netlist) -> Vec<InstId> {
+    let mut out = Vec::new();
+    for &net in netlist.primary_outputs() {
+        if let Some(Driver::Instance(inst)) = netlist.driver(net) {
+            if !out.contains(&inst) {
+                out.push(inst);
+            }
+        }
+    }
+    out
+}
+
+/// A library cell with the same input arity as `inst`'s current cell but a
+/// different id, if one exists.
+fn swap_candidate(netlist: &Netlist, inst: InstId, rng: &mut Rng) -> Option<CellId> {
+    let current = netlist.instances()[inst.0].cell;
+    let arity = netlist.instances()[inst.0].inputs.len();
+    let candidates: Vec<CellId> = (0..lib().len())
+        .map(CellId)
+        .filter(|&c| c != current && lib().cell(c).kind.input_count() == arity)
+        .collect();
+    rng.choose(&candidates).copied()
+}
+
+/// Drives a randomized edit schedule against one design, checking exact
+/// report equality against a from-scratch pass after every single edit.
+/// Covers: single timing edits, overlapping cones (an instance and one of
+/// its fanout sinks edited back to back), critical-path flips (huge and
+/// tiny delays on and off the current critical path), edits on instances
+/// feeding primary outputs, cell swaps, and a full revert-to-original.
+fn run_schedule(name: &str, mut netlist: Netlist, seed: u64) {
+    let config = StaConfig::default();
+    let n = netlist.instance_count();
+    let original_cells: Vec<CellId> = netlist.instances().iter().map(|i| i.cell).collect();
+    let pristine = run_sta(&netlist, lib(), &config).unwrap();
+
+    let mut engine = StaEngine::new(&netlist, lib(), &config).unwrap();
+    assert_eq!(engine.report(), pristine, "{name}: initial full pass");
+
+    // Shadow override set mirroring the engine's, for the reference pass.
+    let mut shadow: Vec<Option<InstanceTiming>> = vec![None; n];
+    let mut rng = Rng::from_seed(seed);
+    let po = po_drivers(&netlist);
+
+    for step in 0..30 {
+        let inst = InstId(rng.below(n as u64) as usize);
+        match rng.below(6) {
+            // Plain single edit somewhere in the design.
+            0 => {
+                let t = InstanceTiming {
+                    delay_ps: rng.uniform_in(1.0, 400.0),
+                    out_slew_ps: rng.uniform_in(1.0, 120.0),
+                };
+                engine.set_timing(&netlist, lib(), inst, t).unwrap();
+                shadow[inst.0] = Some(t);
+            }
+            // Revert a single instance to library timing.
+            1 => {
+                engine.clear_timing(&netlist, lib(), inst).unwrap();
+                shadow[inst.0] = None;
+            }
+            // Critical-path flip: park a huge delay off-path or shrink the
+            // current critical path's head to (almost) nothing.
+            2 => {
+                let (target, t) = if rng.bernoulli(0.5) {
+                    (
+                        inst,
+                        InstanceTiming {
+                            delay_ps: 5_000.0,
+                            out_slew_ps: 40.0,
+                        },
+                    )
+                } else {
+                    let head = *engine.critical_path().first().unwrap_or(&inst);
+                    (
+                        head,
+                        InstanceTiming {
+                            delay_ps: 0.01,
+                            out_slew_ps: 0.01,
+                        },
+                    )
+                };
+                engine.set_timing(&netlist, lib(), target, t).unwrap();
+                shadow[target.0] = Some(t);
+            }
+            // Edit an instance that feeds a primary output directly.
+            3 => {
+                let target = *rng.choose(&po).unwrap_or(&inst);
+                let t = InstanceTiming {
+                    delay_ps: rng.uniform_in(1.0, 300.0),
+                    out_slew_ps: rng.uniform_in(1.0, 80.0),
+                };
+                engine.set_timing(&netlist, lib(), target, t).unwrap();
+                shadow[target.0] = Some(t);
+            }
+            // Overlapping cones: edit an instance and then one of its
+            // fanout sinks, so the second cone is inside the first.
+            4 => {
+                let t = InstanceTiming {
+                    delay_ps: rng.uniform_in(10.0, 200.0),
+                    out_slew_ps: rng.uniform_in(5.0, 60.0),
+                };
+                engine.set_timing(&netlist, lib(), inst, t).unwrap();
+                shadow[inst.0] = Some(t);
+                let out = netlist.instances()[inst.0].output;
+                if let Some(&sink) = rng.choose(&netlist.fanout(out)) {
+                    let t2 = InstanceTiming {
+                        delay_ps: rng.uniform_in(10.0, 200.0),
+                        out_slew_ps: rng.uniform_in(5.0, 60.0),
+                    };
+                    engine.set_timing(&netlist, lib(), sink, t2).unwrap();
+                    shadow[sink.0] = Some(t2);
+                }
+            }
+            // Cell swap/resize through the netlist edit API: moves the
+            // loads of the instance's input nets, not just its own delay.
+            _ => {
+                if let Some(cell) = swap_candidate(&netlist, inst, &mut rng) {
+                    engine.swap_cell(&mut netlist, lib(), inst, cell).unwrap();
+                }
+            }
+        }
+        assert_eq!(
+            engine.report(),
+            scratch_report(&netlist, &config, &shadow),
+            "{name}: step {step} diverged from a from-scratch pass"
+        );
+    }
+
+    // Revert-to-original: undo every override and cell swap; the engine
+    // must land exactly on the pristine pre-edit report.
+    for i in 0..n {
+        if netlist.instances()[i].cell != original_cells[i] {
+            engine
+                .swap_cell(&mut netlist, lib(), InstId(i), original_cells[i])
+                .unwrap();
+        }
+        if shadow[i].is_some() {
+            engine.clear_timing(&netlist, lib(), InstId(i)).unwrap();
+            shadow[i] = None;
+        }
+    }
+    assert_eq!(
+        engine.report(),
+        pristine,
+        "{name}: revert-to-original did not restore the pristine report"
+    );
+}
+
+#[test]
+fn randomized_schedule_ripple_carry_adder() {
+    let (name, nl) = designs().swap_remove(0);
+    run_schedule(name, nl, 101);
+}
+
+#[test]
+fn randomized_schedule_array_multiplier() {
+    let (name, nl) = designs().swap_remove(1);
+    run_schedule(name, nl, 202);
+}
+
+#[test]
+fn randomized_schedule_random_logic() {
+    let (name, nl) = designs().swap_remove(2);
+    run_schedule(name, nl, 303);
+}
+
+#[test]
+fn randomized_schedule_processor_datapath() {
+    let (name, nl) = designs().swap_remove(3);
+    run_schedule(name, nl, 404);
+}
+
+/// The CSR-backed `fanout` must agree with a naive scan over all
+/// instances, for every net.
+#[test]
+fn fanout_matches_naive_scan() {
+    for (name, netlist) in designs() {
+        for net in 0..netlist.net_count() {
+            let net = NetId(net);
+            let mut naive = Vec::new();
+            for (i, inst) in netlist.instances().iter().enumerate() {
+                if inst.inputs.contains(&net) {
+                    naive.push(InstId(i));
+                }
+            }
+            assert_eq!(netlist.fanout(net), naive, "{name}: net {}", net.0);
+        }
+    }
+}
+
+/// Activity edits feed power/SHE/aging but never STA: refreshing after one
+/// must not re-time anything or change the report.
+#[test]
+fn activity_edit_is_a_timing_noop() {
+    let config = StaConfig::default();
+    let mut netlist = ripple_carry_adder(lib(), 6).unwrap();
+    let mut engine = StaEngine::new(&netlist, lib(), &config).unwrap();
+    let before = engine.report();
+    let evals_before = engine.instance_evals();
+    netlist.set_activity(InstId(3), 0.9).unwrap();
+    netlist.set_activity(InstId(7), 0.05).unwrap();
+    engine.refresh(&mut netlist, lib()).unwrap();
+    assert_eq!(engine.report(), before);
+    assert_eq!(
+        engine.instance_evals(),
+        evals_before,
+        "activity refresh re-timed instances"
+    );
+    assert!(netlist.dirty().is_empty(), "dirty-set not drained");
+}
+
+/// Structural edits (new gates, inputs, outputs) invalidate the engine:
+/// every subsequent call must fail with `StaleEngine` until a rebuild.
+#[test]
+fn structural_edit_stales_engine() {
+    let config = StaConfig::default();
+    let mut netlist = ripple_carry_adder(lib(), 4).unwrap();
+    let mut engine = StaEngine::new(&netlist, lib(), &config).unwrap();
+    let _ = netlist.add_input();
+    let err = engine
+        .set_timing(
+            &netlist,
+            lib(),
+            InstId(0),
+            InstanceTiming {
+                delay_ps: 10.0,
+                out_slew_ps: 5.0,
+            },
+        )
+        .unwrap_err();
+    assert!(matches!(err, CircuitError::StaleEngine(_)), "{err}");
+    // A rebuild over the edited netlist works again.
+    let rebuilt = StaEngine::new(&netlist, lib(), &config).unwrap();
+    assert!(rebuilt.max_arrival_ps() > 0.0);
+}
+
+/// A non-finite override poisons the engine mid-retime; later calls fail
+/// with `StaleEngine` instead of serving half-updated state.
+#[test]
+fn non_finite_override_poisons_engine() {
+    let config = StaConfig::default();
+    let netlist = ripple_carry_adder(lib(), 4).unwrap();
+    let mut engine = StaEngine::new(&netlist, lib(), &config).unwrap();
+    let err = engine
+        .set_timing(
+            &netlist,
+            lib(),
+            InstId(0),
+            InstanceTiming {
+                delay_ps: f64::NAN,
+                out_slew_ps: 5.0,
+            },
+        )
+        .unwrap_err();
+    assert!(matches!(err, CircuitError::NonFinite { .. }), "{err}");
+    let err = engine.clear_timing(&netlist, lib(), InstId(0)).unwrap_err();
+    assert!(matches!(err, CircuitError::StaleEngine(_)), "{err}");
+}
+
+/// `set_all_timings` from a fresh engine equals a dense-override full
+/// pass, and flipping between two override sets matches from-scratch
+/// passes both ways.
+#[test]
+fn set_all_timings_matches_dense_full_pass() {
+    let config = StaConfig::default();
+    let netlist = random_logic(lib(), 10, 200, 9).unwrap();
+    let n = netlist.instance_count();
+    let mut rng = Rng::from_seed(77);
+    let mk = |rng: &mut Rng| -> Vec<InstanceTiming> {
+        (0..n)
+            .map(|_| InstanceTiming {
+                delay_ps: rng.uniform_in(1.0, 250.0),
+                out_slew_ps: rng.uniform_in(1.0, 90.0),
+            })
+            .collect()
+    };
+    let set_a = mk(&mut rng);
+    let set_b = mk(&mut rng);
+
+    let mut engine = StaEngine::new(&netlist, lib(), &config).unwrap();
+    engine.set_all_timings(&netlist, lib(), &set_a).unwrap();
+    assert_eq!(
+        engine.report(),
+        StaEngine::with_overrides(&netlist, lib(), &config, &set_a)
+            .unwrap()
+            .into_report()
+    );
+    engine.set_all_timings(&netlist, lib(), &set_b).unwrap();
+    assert_eq!(
+        engine.report(),
+        StaEngine::with_overrides(&netlist, lib(), &config, &set_b)
+            .unwrap()
+            .into_report()
+    );
+    // And back: no hysteresis.
+    engine.set_all_timings(&netlist, lib(), &set_a).unwrap();
+    assert_eq!(
+        engine.report(),
+        StaEngine::with_overrides(&netlist, lib(), &config, &set_a)
+            .unwrap()
+            .into_report()
+    );
+}
