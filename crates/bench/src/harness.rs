@@ -73,6 +73,20 @@ impl Harness {
     pub fn new(name: &str, id: &str, title: &str) -> Self {
         let worker_role = lori_par::procpool::worker_role();
         let worker = worker_role.is_some();
+        // Cross-process trace context, before any span opens: the
+        // supervisor-issued epoch salts this process's span/thread ids
+        // into a range disjoint from every other process in the tree, and
+        // the dispatch sid parents this worker's root span under the
+        // supervisor's shard-dispatch span.
+        let trace_parent = if worker {
+            lori_par::procpool::trace_parent_from_env()
+        } else {
+            None
+        };
+        if let Some((epoch, parent_sid)) = trace_parent {
+            obs::set_process_epoch(epoch);
+            obs::set_process_parent(parent_sid);
+        }
         if !worker {
             crate::banner(id, title);
         }
@@ -88,20 +102,31 @@ impl Harness {
                 false
             }
         };
-        // Workers must not stream into the supervisor's event log — the
-        // shared path would interleave two processes' writes.
-        let events_path = if dir_ok && obs_enabled() && !worker {
-            let path = dir.join(format!("{name}.events.jsonl"));
-            match obs::JsonlRecorder::create_atomic(&path) {
-                Ok(rec) => {
-                    obs::install(Arc::new(rec));
-                    Some(path)
+        // Workers stream into their own epoch-suffixed file — never the
+        // supervisor's event log, where two processes' writes would
+        // interleave. The supervisor's finish() concatenates completed
+        // worker streams deterministically (ascending epoch). A worker
+        // without a trace parent (not spawned by this supervisor's
+        // dispatch path) records nothing.
+        let stream_name = match (worker, trace_parent) {
+            (false, _) => Some(format!("{name}.events.jsonl")),
+            (true, Some((epoch, _))) => Some(format!("{name}.worker-{epoch}.events.jsonl")),
+            (true, None) => None,
+        };
+        let events_path = if dir_ok && obs_enabled() {
+            stream_name.and_then(|fname| {
+                let path = dir.join(fname);
+                match obs::JsonlRecorder::create_atomic(&path) {
+                    Ok(rec) => {
+                        obs::install(Arc::new(rec));
+                        Some(path)
+                    }
+                    Err(err) => {
+                        eprintln!("warning: cannot record events to {}: {err}", path.display());
+                        None
+                    }
                 }
-                Err(err) => {
-                    eprintln!("warning: cannot record events to {}: {err}", path.display());
-                    None
-                }
-            }
+            })
         } else {
             None
         };
@@ -260,6 +285,7 @@ impl Harness {
             );
             self.manifest.config.push(("checks".to_owned(), checks));
         }
+        self.merge_worker_events();
         self.merge_worker_flights();
         self.manifest.finish(obs::registry().snapshot());
         obs::telemetry::set_phase("finished");
@@ -272,6 +298,59 @@ impl Harness {
         }
         println!();
         Ok(())
+    }
+
+    /// Concatenates completed worker event streams
+    /// (`<name>.worker-<epoch>.events.jsonl`) onto the supervisor's
+    /// stream in deterministic order — ascending spawn epoch, each stream
+    /// already in its own recording order — replacing
+    /// `<name>.events.jsonl` atomically and removing the per-worker
+    /// litter. Epoch-salted span/thread ids keep the concatenation a
+    /// valid single trace: per-tid streams stay disjoint and every sid is
+    /// unique across the process tree, so `lori-report profile` stitches
+    /// one causal tree spanning supervisor and all worker attempts.
+    /// Streams from crashed attempts never appear here: a worker's stream
+    /// is renamed into place only on clean exit.
+    fn merge_worker_events(&self) {
+        let dir = results_dir();
+        let prefix = format!("{}.worker-", self.name);
+        let mut parts: Vec<(u64, PathBuf)> = Vec::new();
+        let Ok(read) = std::fs::read_dir(&dir) else {
+            return;
+        };
+        for entry in read.flatten() {
+            let fname = entry.file_name();
+            let Some(fname) = fname.to_str() else {
+                continue;
+            };
+            let Some(id) = fname
+                .strip_prefix(&prefix)
+                .and_then(|rest| rest.strip_suffix(".events.jsonl"))
+                .and_then(|id| id.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            parts.push((id, entry.path()));
+        }
+        if parts.is_empty() {
+            return;
+        }
+        parts.sort();
+        let final_path = dir.join(format!("{}.events.jsonl", self.name));
+        let mut merged = std::fs::read_to_string(&final_path).unwrap_or_default();
+        for (_, path) in &parts {
+            if let Ok(text) = std::fs::read_to_string(path) {
+                merged.push_str(&text);
+            }
+        }
+        match lori_fault::atomic_write(&final_path, merged.as_bytes()) {
+            Ok(()) => {
+                for (_, path) in parts {
+                    let _ = std::fs::remove_file(path);
+                }
+            }
+            Err(err) => eprintln!("warning: cannot merge worker event streams: {err}"),
+        }
     }
 
     /// Folds per-worker flight dumps (`<name>.flight.worker-<k>.json`,

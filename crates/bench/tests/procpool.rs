@@ -10,29 +10,37 @@
 //! per-test scratch directory.
 
 use lori_obs::Value;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::path::{Path, PathBuf};
-use std::process::{Command, Output};
+use std::process::{Command, Output, Stdio};
 
 fn scratch(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("lori-procpool-{tag}-{}", std::process::id()))
 }
+
+/// Inherited `LORI_*` knobs stripped from every spawned `exp-fig5` so the
+/// test's own settings are the whole story.
+const STRIPPED_KNOBS: [&str; 11] = [
+    "LORI_WORKERS",
+    "LORI_THREADS",
+    "LORI_SHARDS",
+    "LORI_FAULT_PLAN",
+    "LORI_RECOVERY",
+    "LORI_TELEMETRY",
+    "LORI_PROGRESS",
+    "LORI_WORKER_RETRIES",
+    "LORI_PROCPOOL_KEEP",
+    "LORI_OBS",
+    "LORI_STALL_TIMEOUT_MS",
+];
 
 /// One `exp-fig5` invocation against `dir` with an explicit environment.
 /// Inherited `LORI_*` knobs are stripped so the test's own settings are
 /// the whole story.
 fn run_fig5(dir: &Path, envs: &[(&str, &str)]) -> Output {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_exp-fig5"));
-    for knob in [
-        "LORI_WORKERS",
-        "LORI_THREADS",
-        "LORI_SHARDS",
-        "LORI_FAULT_PLAN",
-        "LORI_RECOVERY",
-        "LORI_TELEMETRY",
-        "LORI_PROGRESS",
-        "LORI_WORKER_RETRIES",
-        "LORI_PROCPOOL_KEEP",
-    ] {
+    for knob in STRIPPED_KNOBS {
         cmd.env_remove(knob);
     }
     cmd.env("LORI_RESULTS_DIR", dir);
@@ -202,6 +210,284 @@ fn repeatedly_killed_shard_is_poisoned_and_quarantined() {
             assert!(!matches!(p, Value::Null), "point {i} must survive");
         }
     }
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Asserts the merged `exp-fig5.events.jsonl` is one causally connected
+/// trace: it parses with zero orphan spans, per-worker streams were all
+/// merged and deleted, `lori-report check` is green, and the timeline
+/// reconstruction returns the run's shard docs for further assertions.
+fn assert_merged_trace(dir: &Path) -> Value {
+    let text =
+        std::fs::read_to_string(dir.join("exp-fig5.events.jsonl")).expect("merged event stream");
+    let parsed = lori_report::parse_events(&text).expect("merged stream parses");
+    assert!(
+        parsed.orphans.is_empty(),
+        "orphan spans in merged trace: {:?}",
+        parsed.orphans
+    );
+    let streams: Vec<String> = std::fs::read_dir(dir)
+        .expect("results dir")
+        .filter_map(Result::ok)
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("exp-fig5.worker-"))
+        .collect();
+    assert!(streams.is_empty(), "unmerged worker streams: {streams:?}");
+    let report = lori_report::check_run(dir, "exp-fig5").expect("check runs");
+    assert!(report.ok(), "check failures: {:?}", report.failures);
+    lori_report::build_timeline("exp-fig5", &text).expect("timeline builds")
+}
+
+fn timeline_shard(timeline: &Value, ix: f64) -> Vec<Value> {
+    timeline
+        .get("shards")
+        .and_then(Value::as_arr)
+        .expect("timeline shards")
+        .iter()
+        .find(|s| s.get("shard").and_then(Value::as_f64) == Some(ix))
+        .expect("shard present in timeline")
+        .get("attempts")
+        .and_then(Value::as_arr)
+        .expect("shard attempts")
+        .to_vec()
+}
+
+fn attempt_outcome(attempt: &Value) -> &str {
+    attempt
+        .get("outcome")
+        .and_then(Value::as_str)
+        .expect("attempt outcome")
+}
+
+#[test]
+fn crash_storm_trace_merges_into_one_causal_tree() {
+    let base = scratch("trace");
+
+    // Clean two-worker run: every shard is one attempt, done, with its
+    // worker's event stream merged in (epoch-salted ids, so the sid spaces
+    // of the three processes stay disjoint — `check` verifies uniqueness).
+    let clean = base.join("clean");
+    let out = run_fig5(
+        &clean,
+        &[
+            ("LORI_WORKERS", "2"),
+            ("LORI_THREADS", "1"),
+            ("LORI_SHARDS", "4"),
+        ],
+    );
+    assert_success(&out, "clean traced run");
+    let timeline = assert_merged_trace(&clean);
+    let mut epochs = Vec::new();
+    for shard in 0..4 {
+        let attempts = timeline_shard(&timeline, f64::from(shard));
+        assert_eq!(attempts.len(), 1, "shard {shard} needed retries");
+        assert_eq!(attempt_outcome(&attempts[0]), "done");
+        assert_eq!(
+            attempts[0].get("stream").and_then(Value::as_bool),
+            Some(true),
+            "shard {shard} attempt left no merged stream"
+        );
+        let epoch = attempts[0]
+            .get("worker_epoch")
+            .and_then(Value::as_f64)
+            .expect("worker epoch recorded");
+        assert!(epoch >= 1.0, "worker epoch must be supervisor-issued");
+        epochs.push(epoch.to_bits());
+    }
+    epochs.sort_unstable();
+    epochs.dedup();
+    assert_eq!(epochs.len(), 4, "worker epochs must be unique per attempt");
+
+    // Crash storm: the worker holding shard 1 aborts, the worker holding
+    // shard 2 stalls until the supervisor SIGKILLs it. Both recover on
+    // retry; the merged trace still reconstructs every attempt.
+    let storm = base.join("storm");
+    let out = run_fig5(
+        &storm,
+        &[
+            ("LORI_WORKERS", "2"),
+            ("LORI_THREADS", "1"),
+            ("LORI_SHARDS", "4"),
+            ("LORI_STALL_TIMEOUT_MS", "500"),
+            (
+                "LORI_FAULT_PLAN",
+                "kill@procpool.worker-kill:1;stall@procpool.worker-stall:2",
+            ),
+        ],
+    );
+    assert_success(&out, "crash-storm traced run");
+    assert_eq!(
+        points_bytes(&storm),
+        points_bytes(&clean),
+        "crash storm changed the artifact"
+    );
+    assert_no_shard_litter(&storm);
+    let timeline = assert_merged_trace(&storm);
+
+    let crashed = timeline_shard(&timeline, 1.0);
+    assert!(crashed.len() >= 2, "aborted shard must be redispatched");
+    assert_eq!(attempt_outcome(&crashed[0]), "crashed");
+    assert_eq!(
+        crashed[0].get("stream").and_then(Value::as_bool),
+        Some(false),
+        "an aborted worker cannot leave a merged stream"
+    );
+    assert_eq!(attempt_outcome(crashed.last().unwrap()), "done");
+
+    let stalled = timeline_shard(&timeline, 2.0);
+    assert!(stalled.len() >= 2, "stalled shard must be redispatched");
+    assert_eq!(attempt_outcome(&stalled[0]), "killed");
+    assert_eq!(
+        stalled[0].get("killed").and_then(Value::as_bool),
+        Some(true),
+        "stall recovery goes through SIGKILL"
+    );
+    assert_eq!(attempt_outcome(stalled.last().unwrap()), "done");
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Best-effort HTTP GET against the supervisor's telemetry endpoint:
+/// `None` once the run has finished and the listener is gone.
+fn try_http_get(addr: SocketAddr, target: &str) -> Option<String> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .write_all(format!("GET {target} HTTP/1.1\r\nhost: test\r\n\r\n").as_bytes())
+        .ok()?;
+    stream.shutdown(std::net::Shutdown::Write).ok();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).ok()?;
+    let (_, body) = response.split_once("\r\n\r\n")?;
+    Some(body.to_owned())
+}
+
+#[test]
+fn fleet_telemetry_tracks_live_procpool_supervisor() {
+    let base = scratch("fleet");
+
+    // Reference run: same sweep, no telemetry endpoint.
+    let quiet = base.join("quiet");
+    let out = run_fig5(
+        &quiet,
+        &[
+            ("LORI_WORKERS", "2"),
+            ("LORI_THREADS", "1"),
+            ("LORI_RUNS", "60"),
+        ],
+    );
+    assert_success(&out, "quiet run");
+
+    // Observed run: endpoint live on an ephemeral port, announced on
+    // stderr; this test hammers /metrics and /workers until the run ends.
+    let observed = base.join("observed");
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_exp-fig5"));
+    for knob in STRIPPED_KNOBS {
+        cmd.env_remove(knob);
+    }
+    let mut child = cmd
+        .env("LORI_RESULTS_DIR", &observed)
+        .env("LORI_RUNS", "60")
+        .env("LORI_WORKERS", "2")
+        .env("LORI_THREADS", "1")
+        .env("LORI_TELEMETRY", "127.0.0.1:0")
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn observed exp-fig5");
+    let mut stderr = BufReader::new(child.stderr.take().expect("piped stderr"));
+    let addr: SocketAddr = loop {
+        let mut line = String::new();
+        let n = stderr.read_line(&mut line).expect("read supervisor stderr");
+        assert!(n > 0, "run ended before announcing the telemetry endpoint");
+        if let Some(rest) = line.trim().strip_prefix("telemetry: listening on ") {
+            break rest.parse().expect("announced address parses");
+        }
+    };
+    // Keep draining stderr so a chatty child never blocks on a full pipe.
+    let drain = std::thread::spawn(move || {
+        let mut rest = String::new();
+        stderr.read_to_string(&mut rest).ok();
+        rest
+    });
+
+    let mut fleet_scrapes = 0usize;
+    let mut metric_samples: Vec<f64> = Vec::new();
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("poll child") {
+            break status;
+        }
+        if let Some(metrics) = try_http_get(addr, "/metrics") {
+            // Fleet counters are sums over live per-shard metrics files;
+            // a supervisor aggregating monotone worker counters must
+            // itself be monotone scrape to scrape.
+            if let Some(v) = metrics
+                .lines()
+                .find_map(|l| l.strip_prefix("lori_fleet_procpool_units_computed "))
+                .and_then(|v| v.trim().parse::<f64>().ok())
+            {
+                if let Some(&prev) = metric_samples.last() {
+                    assert!(
+                        v >= prev,
+                        "fleet counter went backwards: {prev} -> {v}\n{metrics}"
+                    );
+                }
+                metric_samples.push(v);
+            }
+        }
+        if let Some(body) = try_http_get(addr, "/workers") {
+            let doc = Value::parse(body.trim()).expect("/workers is valid JSON");
+            if !matches!(doc, Value::Null) {
+                assert_eq!(
+                    doc.get("run").and_then(Value::as_str),
+                    Some("exp-fig5"),
+                    "fleet doc names the run"
+                );
+                assert!(
+                    doc.get("shards").and_then(Value::as_f64).unwrap_or(0.0) > 0.0,
+                    "fleet doc counts shards"
+                );
+                for worker in doc
+                    .get("workers")
+                    .and_then(Value::as_arr)
+                    .expect("workers array")
+                {
+                    assert!(worker.get("shard").and_then(Value::as_f64).is_some());
+                    let state = worker
+                        .get("state")
+                        .and_then(Value::as_str)
+                        .expect("worker state");
+                    assert!(
+                        ["pending", "running", "done", "poisoned"].contains(&state),
+                        "unexpected worker state {state:?}"
+                    );
+                    assert!(worker.get("done").and_then(Value::as_f64).is_some());
+                    assert!(worker.get("want").and_then(Value::as_f64).is_some());
+                }
+                assert!(doc.get("counters").is_some(), "fleet doc carries counters");
+                fleet_scrapes += 1;
+            }
+        }
+    };
+    let stderr_rest = drain.join().expect("stderr drain");
+    assert!(
+        status.success(),
+        "observed run failed ({status}):\n{stderr_rest}"
+    );
+    assert!(
+        !metric_samples.is_empty(),
+        "never caught a /metrics scrape mid-run"
+    );
+    assert!(fleet_scrapes > 0, "never caught a well-formed /workers doc");
+
+    // The endpoint (and the scrape hammering) must not perturb artifacts.
+    assert_eq!(
+        points_bytes(&observed),
+        points_bytes(&quiet),
+        "fleet telemetry changed the sweep artifact"
+    );
+    assert_no_shard_litter(&observed);
+    assert_merged_trace(&observed);
 
     std::fs::remove_dir_all(&base).ok();
 }

@@ -49,6 +49,23 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
+/// Environment variable carrying trace context across the exec boundary:
+/// `<epoch>:<parent_sid>`, set per dispatch by [`supervise`]. The epoch is
+/// a supervisor-issued spawn sequence number (unique per worker attempt)
+/// that salts the worker's span/thread ids so they cannot collide with any
+/// other process in the tree; the parent sid is the supervisor's
+/// `procpool.dispatch` span, under which the worker's root span parents.
+pub const TRACE_PARENT_ENV: &str = "LORI_PROCPOOL_TRACE_PARENT";
+
+/// Parses [`TRACE_PARENT_ENV`] as `(epoch, parent_sid)`. `None` outside a
+/// supervised worker (or when the variable is malformed).
+#[must_use]
+pub fn trace_parent_from_env() -> Option<(u64, u64)> {
+    let raw = std::env::var(TRACE_PARENT_ENV).ok()?;
+    let (epoch, parent) = raw.trim().split_once(':')?;
+    Some((epoch.parse().ok()?, parent.parse().ok()?))
+}
+
 /// Fault-plan site: abort (SIGKILL-equivalent) the worker running shard N.
 pub const SITE_WORKER_KILL: &str = "procpool.worker-kill";
 /// Fault-plan site: freeze the worker running shard N (heartbeats stop).
@@ -579,6 +596,25 @@ pub fn run_worker<F>(job: &ShardJob<'_>, role: WorkerRole, run_unit: F) -> !
 where
     F: Fn(usize) -> Result<Value, String> + Sync,
 {
+    let code = run_worker_inner(job, role, run_unit);
+    // `exit` skips destructors, so drop the recorder explicitly: the
+    // worker's event stream is written to a temp file and renamed into
+    // place when the recorder drops. Crash paths — injected kill, stall,
+    // lease lost mid-run — bypass this on purpose and leave only the
+    // unrenamed temp; the supervisor merges complete streams only.
+    lori_obs::uninstall();
+    std::process::exit(code);
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn run_worker_inner<F>(job: &ShardJob<'_>, role: WorkerRole, run_unit: F) -> i32
+where
+    F: Fn(usize) -> Result<Value, String> + Sync,
+{
+    // The worker's root span: parents under the supervisor's dispatch
+    // span via the process parent installed from TRACE_PARENT_ENV, so
+    // every attempt hangs off the supervisor tree as a sibling.
+    let _root = lori_obs::span_with("procpool.worker", role.shard as f64);
     let cfg = PoolConfig::from_env(1);
     let (lo, hi) = shard_bounds(job.total, role.shards, role.shard);
     let wal_path = shard_wal_path(job.dir, job.name, role.shard);
@@ -597,12 +633,12 @@ where
     let handle = loop {
         match claim(&lease, role.worker, role.attempt, cfg.stall_timeout_ms) {
             ClaimOutcome::Won(h) => break h,
-            ClaimOutcome::Busy => std::process::exit(EXIT_LEASE_BUSY),
+            ClaimOutcome::Busy => return EXIT_LEASE_BUSY,
             ClaimOutcome::Done => {
                 if shard_complete()
                     || std::fs::metadata(fail_path(job.dir, job.name, role.shard)).is_ok()
                 {
-                    std::process::exit(EXIT_DONE);
+                    return EXIT_DONE;
                 }
                 // A done-lease without a complete WAL (cleanup race):
                 // steal it and recompute.
@@ -625,11 +661,16 @@ where
         let stop = Arc::clone(&stop);
         let handle = handle.clone();
         let interval = Duration::from_millis(cfg.heartbeat_ms);
+        let mpath = metrics_path(job.dir, job.name, role.shard);
         std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
                 if !handle.beat("running") {
                     std::process::exit(EXIT_LEASE_LOST);
                 }
+                // Refresh the shard metrics snapshot with every beat so
+                // the supervisor's fleet view aggregates live counters,
+                // not just end-of-shard ones.
+                write_worker_metrics(&mpath);
                 std::thread::sleep(interval);
             }
         })
@@ -639,7 +680,7 @@ where
         Ok(pair) => pair,
         Err(err) => {
             eprintln!("procpool worker: cannot open shard WAL: {err}");
-            std::process::exit(1);
+            return 1;
         }
     };
     let have: HashSet<usize> = entries
@@ -653,6 +694,11 @@ where
     let wal = Mutex::new(wal);
     let stalled = AtomicBool::new(false);
     let computed = lori_obs::counter("procpool.units_computed");
+    // Worker-local heartbeat over this shard's missing units. The
+    // supervisor's sweep tracker lives in its own process, so without
+    // this a multi-process run is silent about per-shard progress; the
+    // `[w<k>]` slot prefix keeps interleaved worker stderr attributable.
+    let progress = lori_obs::Progress::start("shard", missing.len() as u64);
     let out = crate::par_map_recover(crate::global(), policy, &missing, |_, &i| {
         let value = run_unit(i)?;
         {
@@ -664,6 +710,7 @@ where
             }
         }
         computed.incr(1);
+        progress.tick();
         // Injected stall: freeze after the first durable unit — the
         // heartbeat stops, and the supervisor must detect and kill us.
         if stall && !stalled.swap(true, Ordering::Relaxed) {
@@ -691,7 +738,7 @@ where
         if let Some(Err(message)) = slot {
             if policy == crate::RecoveryPolicy::FailFast {
                 eprintln!("procpool worker: unit {i} failed: {message}");
-                std::process::exit(1);
+                return 1;
             }
             lori_obs::counter("fault.quarantined").incr(1);
             failed.push(UnitFailure {
@@ -729,13 +776,13 @@ where
     }
     write_worker_metrics(&metrics_path(job.dir, job.name, role.shard));
     if !handle.beat("done") {
-        std::process::exit(EXIT_LEASE_LOST);
+        return EXIT_LEASE_LOST;
     }
-    std::process::exit(if failed.is_empty() {
+    if failed.is_empty() {
         EXIT_DONE
     } else {
         EXIT_QUARANTINED
-    });
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -832,24 +879,116 @@ fn spawn_worker(
     shard: usize,
     worker: usize,
     attempt: u32,
+    trace_parent: &str,
 ) -> io::Result<Child> {
     let exe = std::env::current_exe()?;
     let args: Vec<String> = std::env::args().skip(1).collect();
     Command::new(exe)
         .args(args)
-        // Workers must not recurse into supervision, rebind telemetry
-        // ports, or double-print progress heartbeats.
+        // Workers must not recurse into supervision or rebind telemetry
+        // ports. LORI_PROGRESS is inherited: worker heartbeat lines carry
+        // a `[w<k>]` slot prefix, so interleaved stderr stays attributable.
         .env_remove("LORI_WORKERS")
         .env_remove("LORI_TELEMETRY")
-        .env_remove("LORI_PROGRESS")
         .env("LORI_RESULTS_DIR", job.dir)
         .env("LORI_PROCPOOL_ROLE", "worker")
         .env("LORI_PROCPOOL_WORKER", worker.to_string())
         .env("LORI_PROCPOOL_SHARD", shard.to_string())
         .env("LORI_PROCPOOL_SHARDS", shards.to_string())
         .env("LORI_PROCPOOL_ATTEMPT", attempt.to_string())
+        .env(TRACE_PARENT_ENV, trace_parent)
         .stdout(Stdio::null())
         .spawn()
+}
+
+/// Emits an instantaneous shard-lifecycle marker span on the supervisor
+/// thread and returns its sid. Markers open and drop immediately — the
+/// supervisor's per-thread LIFO nesting is preserved no matter how many
+/// shards are in flight — and exist to be causal anchors: worker root
+/// spans parent under `procpool.dispatch` markers, and `lori-report
+/// timeline` reads the kill/reclaim/done/poison markers as lifecycle
+/// edges.
+#[allow(clippy::cast_precision_loss)]
+fn marker(name: &'static str, shard: usize) -> u64 {
+    lori_obs::span_with(name, shard as f64).sid()
+}
+
+/// Serializes the supervisor's fleet view for the telemetry endpoint:
+/// per-shard lease state, owner, attempt, heartbeat age, and unit
+/// progress, plus worker counters aggregated from the per-shard metrics
+/// files (refreshed by each worker's heartbeat thread). Built only while
+/// a telemetry server is live, and pushed as a pre-serialized document so
+/// nothing here ever touches the metric registry — artifacts stay
+/// bit-identical with the endpoint on or off.
+fn fleet_json(
+    job: &ShardJob<'_>,
+    shards: usize,
+    states: &[ShardState],
+    entries: &[Option<Value>],
+) -> String {
+    let now = now_ms();
+    let workers: Vec<Value> = (0..shards)
+        .map(|k| {
+            let (lo, hi) = shard_bounds(job.total, shards, k);
+            let done_units = entries[lo..hi].iter().filter(|e| e.is_some()).count();
+            let (state, worker, attempt) = match &states[k] {
+                ShardState::Pending { attempt, .. } => ("pending", None, Some(*attempt)),
+                ShardState::Running(r) => ("running", Some(r.worker), Some(r.attempt)),
+                ShardState::Done => ("done", None, None),
+                ShardState::Poisoned => ("poisoned", None, None),
+            };
+            let beat_age = match read_lease(&lease_path(job.dir, job.name, k)) {
+                LeaseRead::Valid(l) => Some(now.saturating_sub(l.beat_ms)),
+                _ => None,
+            };
+            Value::Obj(vec![
+                ("shard".to_owned(), Value::from(k as u64)),
+                ("state".to_owned(), Value::from(state)),
+                (
+                    "worker".to_owned(),
+                    worker.map_or(Value::Null, |w| Value::from(w as u64)),
+                ),
+                (
+                    "attempt".to_owned(),
+                    attempt.map_or(Value::Null, |a| Value::from(u64::from(a))),
+                ),
+                (
+                    "heartbeat_age_ms".to_owned(),
+                    beat_age.map_or(Value::Null, Value::from),
+                ),
+                ("done".to_owned(), Value::from(done_units as u64)),
+                ("want".to_owned(), Value::from((hi - lo) as u64)),
+            ])
+        })
+        .collect();
+
+    // Aggregate worker counters across every shard's metrics snapshot.
+    let mut sums: Vec<(String, f64)> = Vec::new();
+    for k in 0..shards {
+        let Ok(text) = std::fs::read_to_string(metrics_path(job.dir, job.name, k)) else {
+            continue;
+        };
+        let Ok(Value::Obj(members)) = Value::parse(&text) else {
+            continue;
+        };
+        for (name, value) in members {
+            let Some(n) = value.as_f64() else { continue };
+            match sums.iter_mut().find(|(s, _)| *s == name) {
+                Some((_, total)) => *total += n,
+                None => sums.push((name, n)),
+            }
+        }
+    }
+    sums.sort_by(|a, b| a.0.cmp(&b.0));
+    let counters = sums.into_iter().map(|(k, v)| (k, Value::from(v))).collect();
+
+    Value::Obj(vec![
+        ("run".to_owned(), Value::from(job.name)),
+        ("shards".to_owned(), Value::from(shards as u64)),
+        ("workers".to_owned(), Value::Arr(workers)),
+        ("counters".to_owned(), Value::Obj(counters)),
+    ])
+    .to_json()
 }
 
 fn status_message(status: std::process::ExitStatus) -> String {
@@ -912,6 +1051,9 @@ pub fn supervise<F: FnMut(usize, &Value)>(
     let mut states: Vec<ShardState> = (0..shards)
         .map(|k| {
             if sup.shard_settled(k) {
+                // Settled purely from a previous run's WAL — the timeline
+                // distinguishes replayed shards from freshly computed ones.
+                marker("procpool.replayed", k);
                 ShardState::Done
             } else {
                 ShardState::Pending {
@@ -930,6 +1072,10 @@ pub fn supervise<F: FnMut(usize, &Value)>(
     let poisoned_c = lori_obs::counter("procpool.shards_poisoned");
     let mut first_spawn_err: Option<io::Error> = None;
     let mut ever_spawned = false;
+    // Supervisor-issued process epochs: the supervisor keeps epoch 0;
+    // every spawned worker attempt gets the next value, salting its span
+    // and thread ids into a disjoint range (see lori-obs trace docs).
+    let mut spawn_seq: u64 = 0;
     let poll = Duration::from_millis(cfg.heartbeat_ms.clamp(10, 250) / 2 + 5);
 
     loop {
@@ -967,7 +1113,10 @@ pub fn supervise<F: FnMut(usize, &Value)>(
             let Some(worker) = free_slots.next() else {
                 break;
             };
-            match spawn_worker(job, shards, k, worker, attempt) {
+            spawn_seq += 1;
+            let dispatch_sid = marker("procpool.dispatch", k);
+            let trace_parent = format!("{spawn_seq}:{dispatch_sid}");
+            match spawn_worker(job, shards, k, worker, attempt, &trace_parent) {
                 Ok(child) => {
                     spawned.incr(1);
                     ever_spawned = true;
@@ -1017,6 +1166,7 @@ pub fn supervise<F: FnMut(usize, &Value)>(
                 }
                 if sup.shard_settled(k) {
                     fold_worker_metrics(&metrics_path(job.dir, job.name, k));
+                    marker("procpool.done", k);
                     states[k] = ShardState::Done;
                     continue;
                 }
@@ -1033,9 +1183,11 @@ pub fn supervise<F: FnMut(usize, &Value)>(
                     _ => {
                         crashed.incr(1);
                         reclaimed.incr(1);
+                        marker("procpool.reclaim", k);
                         let next = attempt + 1;
                         if next > cfg.retries {
                             poisoned_c.incr(1);
+                            marker("procpool.poison", k);
                             let (lo, hi) = shard_bounds(job.total, shards, k);
                             let message = status_message(status);
                             for i in lo..hi {
@@ -1081,20 +1233,24 @@ pub fn supervise<F: FnMut(usize, &Value)>(
             }
             if run.last_progress.elapsed() > Duration::from_millis(cfg.stall_timeout_ms) {
                 // Stalled: no heartbeat, no WAL growth. Kill and reclaim.
+                marker("procpool.kill", k);
                 let _ = run.child.kill();
                 let _ = run.child.wait();
                 killed.incr(1);
                 reclaimed.incr(1);
                 let _ = steal_lease(&lease_path(job.dir, job.name, k));
+                marker("procpool.reclaim", k);
                 let attempt = run.attempt;
                 sup.merge_shard(k);
                 if sup.shard_settled(k) {
+                    marker("procpool.done", k);
                     states[k] = ShardState::Done;
                     continue;
                 }
                 let next = attempt + 1;
                 if next > cfg.retries {
                     poisoned_c.incr(1);
+                    marker("procpool.poison", k);
                     let (lo, hi) = shard_bounds(job.total, shards, k);
                     for i in lo..hi {
                         if sup.entries[i].is_none() {
@@ -1114,6 +1270,12 @@ pub fn supervise<F: FnMut(usize, &Value)>(
                     };
                 }
             }
+        }
+
+        // Refresh the fleet view for the telemetry endpoint. Gated on a
+        // live server so a headless supervisor pays no per-poll file IO.
+        if lori_obs::telemetry::is_serving() {
+            lori_obs::telemetry::set_fleet_json(fleet_json(job, shards, &states, &sup.entries));
         }
 
         if states

@@ -93,6 +93,7 @@ pub fn check_run(results_dir: &Path, name: &str) -> Result<CheckReport, ReportEr
     let mut report = CheckReport::default();
     check_manifest(&manifest, name, &mut report);
     check_shards(results_dir, name, &mut report);
+    check_worker_streams(results_dir, name, &mut report);
 
     let wall_ms = manifest.get("wall_ms").and_then(Value::as_f64);
     let events_path = results_dir.join(format!("{name}.events.jsonl"));
@@ -321,7 +322,90 @@ pub fn check_shards(results_dir: &Path, name: &str, report: &mut CheckReport) {
     }
 }
 
+/// Flags orphaned per-worker event streams: the procpool supervisor merges
+/// every completed `<name>.worker-<epoch>.events.jsonl` into the run's
+/// unified stream and deletes the parts, so any that remain were recorded
+/// but never merged — the causal trace the profiler reads is incomplete.
+pub fn check_worker_streams(results_dir: &Path, name: &str, report: &mut CheckReport) {
+    let Ok(entries) = std::fs::read_dir(results_dir) else {
+        return;
+    };
+    let prefix = format!("{name}.worker-");
+    let mut orphaned = Vec::new();
+    for entry in entries.flatten() {
+        let fname = entry.file_name();
+        let Some(fname) = fname.to_str() else {
+            continue;
+        };
+        let is_stream = fname
+            .strip_prefix(&prefix)
+            .and_then(|rest| rest.strip_suffix(".events.jsonl"))
+            .is_some_and(|epoch| epoch.parse::<u64>().is_ok());
+        if is_stream {
+            orphaned.push(fname.to_owned());
+        }
+    }
+    orphaned.sort();
+    if orphaned.is_empty() {
+        report.pass("no orphaned worker event streams");
+    } else {
+        for fname in orphaned {
+            report.fail(format!(
+                "orphaned worker stream {fname}: recorded but never merged into \
+                 {name}.events.jsonl — the unified trace is missing this worker's spans"
+            ));
+        }
+    }
+}
+
+/// Flags span ids claimed by more than one `enter` event. Within one
+/// process ids are handed out by an atomic counter and cannot collide;
+/// across the merged streams of a multi-process sweep they stay unique
+/// only because each worker salts its counter with a supervisor-issued
+/// epoch — a collision here means that salting broke and the profiler may
+/// stitch spans under the wrong parent.
+fn check_sid_collisions(events_text: &str, report: &mut CheckReport) {
+    let mut seen: std::collections::HashMap<u64, (String, usize)> =
+        std::collections::HashMap::new();
+    let mut collisions = 0usize;
+    for (idx, line) in events_text.lines().enumerate() {
+        let Ok(v) = Value::parse(line) else {
+            continue; // parse_events already reported malformed lines
+        };
+        if v.get("ev").and_then(Value::as_str) != Some("enter") {
+            continue;
+        }
+        let Some(sid) = v.get("sid").and_then(Value::as_f64) else {
+            continue; // pre-sid legacy streams have nothing to collide
+        };
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let sid = sid as u64;
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_owned();
+        if let Some((first_name, first_line)) = seen.get(&sid) {
+            collisions += 1;
+            report.fail(format!(
+                "span id collision: sid {sid} claimed by '{first_name}' (line {first_line}) \
+                 and '{name}' (line {}) — cross-process id salting broke",
+                idx + 1
+            ));
+        } else {
+            seen.insert(sid, (name, idx + 1));
+        }
+    }
+    if collisions == 0 && !seen.is_empty() {
+        report.pass(format!(
+            "span ids unique across the stream ({})",
+            seen.len()
+        ));
+    }
+}
+
 fn check_events(events_text: &str, wall_ms: Option<f64>, report: &mut CheckReport) {
+    check_sid_collisions(events_text, report);
     match parse_events(events_text) {
         Err(e) => report.fail(format!("event stream invalid: {e}")),
         Ok(parsed) => {
@@ -671,6 +755,89 @@ mod tests {
         check_shards(&dir, "exp-unit", &mut report);
         assert!(report.ok());
         assert!(report.passed.iter().any(|p| p.contains("no shard litter")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flags_cross_process_sid_collision() {
+        // Regression fixture for broken epoch salting: two processes both
+        // started their span counter at 1 and the merged stream carries
+        // the same sid twice (distinct tids, so per-thread nesting checks
+        // alone cannot catch it).
+        let dir = std::env::temp_dir().join(format!("lori-report-sidcol-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("exp-unit.manifest.json"),
+            manifest(7.6, 1.0).to_json(),
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("exp-unit.events.jsonl"),
+            concat!(
+                "{\"ev\":\"enter\",\"name\":\"sweep\",\"t_ns\":0,\"tid\":0,\"depth\":0,\"sid\":1}\n",
+                "{\"ev\":\"exit\",\"name\":\"sweep\",\"t_ns\":1000,\"tid\":0,\"depth\":0,\"dur_ns\":1000,\"sid\":1}\n",
+                "{\"ev\":\"enter\",\"name\":\"worker.root\",\"t_ns\":10,\"tid\":4294967296,\"depth\":0,\"sid\":1,\"parent\":1}\n",
+                "{\"ev\":\"exit\",\"name\":\"worker.root\",\"t_ns\":500,\"tid\":4294967296,\"depth\":0,\"dur_ns\":490,\"sid\":1}\n",
+            ),
+        )
+        .unwrap();
+        let report = check_run(&dir, "exp-unit").unwrap();
+        assert!(!report.ok());
+        assert!(
+            report
+                .failures
+                .iter()
+                .any(|f| f.contains("span id collision")
+                    && f.contains("sid 1")
+                    && f.contains("worker.root")),
+            "failures: {:?}",
+            report.failures
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unique_sids_pass_collision_check() {
+        let mut report = CheckReport::default();
+        check_sid_collisions(
+            concat!(
+                "{\"ev\":\"enter\",\"name\":\"sweep\",\"t_ns\":0,\"tid\":0,\"depth\":0,\"sid\":1}\n",
+                "{\"ev\":\"enter\",\"name\":\"worker.root\",\"t_ns\":10,\"tid\":4294967296,\"depth\":0,\"sid\":4294967297,\"parent\":1}\n",
+            ),
+            &mut report,
+        );
+        assert!(report.ok(), "failures: {:?}", report.failures);
+        assert!(report.passed.iter().any(|p| p.contains("span ids unique")));
+    }
+
+    #[test]
+    fn flags_orphaned_worker_stream() {
+        let dir = shard_dir("wstream");
+        std::fs::write(dir.join("exp-unit.worker-3.events.jsonl"), "{}\n").unwrap();
+        // Not worker streams: another run's stream, a non-numeric epoch.
+        std::fs::write(dir.join("other-run.worker-1.events.jsonl"), "{}\n").unwrap();
+        std::fs::write(dir.join("exp-unit.worker-x.events.jsonl"), "{}\n").unwrap();
+        let mut report = CheckReport::default();
+        check_worker_streams(&dir, "exp-unit", &mut report);
+        assert!(!report.ok());
+        assert_eq!(report.failures.len(), 1, "failures: {:?}", report.failures);
+        assert!(report.failures[0].contains("exp-unit.worker-3.events.jsonl"));
+        assert!(report.failures[0].contains("never merged"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clean_dir_passes_worker_stream_check() {
+        let dir = shard_dir("wclean");
+        // The merged unified stream is not an orphan.
+        std::fs::write(dir.join("exp-unit.events.jsonl"), "{}\n").unwrap();
+        let mut report = CheckReport::default();
+        check_worker_streams(&dir, "exp-unit", &mut report);
+        assert!(report.ok());
+        assert!(report
+            .passed
+            .iter()
+            .any(|p| p.contains("no orphaned worker event streams")));
         std::fs::remove_dir_all(&dir).ok();
     }
 

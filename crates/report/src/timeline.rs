@@ -1,0 +1,447 @@
+//! Shard-lifecycle timeline reconstruction for multi-process sweeps.
+//!
+//! The procpool supervisor narrates every shard-lifecycle transition as an
+//! instantaneous marker span in its event stream (`procpool.dispatch`,
+//! `procpool.kill`, `procpool.reclaim`, `procpool.done`, `procpool.poison`,
+//! `procpool.replayed`, each carrying the shard index as its `attr`), and
+//! every worker attempt opens a `procpool.worker` root span whose recorded
+//! parent is the dispatch marker that spawned it. This module folds the
+//! merged event stream back into a per-shard attempt history:
+//!
+//! ```text
+//! shard 2: attempt 1 killed (stalled, lease stolen) -> attempt 2 done
+//! ```
+//!
+//! The reconstruction is a pure function of the event stream — it reads no
+//! timestamps, so the output is deterministic for a given stream even
+//! though wall-clock timings differ run to run.
+
+use crate::error::ReportError;
+use lori_obs::Value;
+use std::collections::BTreeMap;
+
+/// Bits the worker-process epoch is shifted by inside span/thread ids.
+/// Mirrors `lori-obs::trace::EPOCH_SHIFT`: a worker's tid is
+/// `epoch << 32 | local_tid`, so the epoch of the process that recorded a
+/// span is recoverable from the id alone.
+const EPOCH_SHIFT: u32 = 32;
+
+/// One dispatch of a shard to a worker process.
+#[derive(Debug)]
+struct Attempt {
+    /// Span id of the `procpool.dispatch` marker — worker attempt roots
+    /// name this sid as their parent.
+    dispatch_sid: u64,
+    /// The supervisor SIGKILLed this attempt (stall watchdog).
+    killed: bool,
+    /// The supervisor stole this attempt's lease (crash or stall).
+    reclaimed: bool,
+    /// Worker-process epoch, when the attempt's event stream survived to
+    /// be merged (clean exits only — crashed attempts leave no stream).
+    epoch: Option<u64>,
+    /// Terminal outcome; `None` while the attempt is still open.
+    outcome: Option<&'static str>,
+}
+
+/// Lifecycle history of one shard.
+#[derive(Debug, Default)]
+struct Shard {
+    attempts: Vec<Attempt>,
+    /// `done` / `poisoned` once the supervisor settled the shard.
+    final_state: Option<&'static str>,
+    /// Settled purely from a previous run's WAL — no attempts this run.
+    replayed: bool,
+}
+
+/// Reconstructs the shard-lifecycle timeline of run `name` from its merged
+/// event stream, returning the `<name>.timeline.json` document.
+///
+/// Single-process runs (no procpool markers) yield an empty `shards`
+/// array — the timeline is specifically the multi-process story.
+///
+/// # Errors
+///
+/// Returns [`ReportError::Json`] for unparsable lines and
+/// [`ReportError::MissingField`] when a procpool marker lacks the fields
+/// the reconstruction needs (`sid`, `attr`).
+pub fn build_timeline(name: &str, events_text: &str) -> Result<Value, ReportError> {
+    let mut shards: BTreeMap<u64, Shard> = BTreeMap::new();
+    // dispatch sid -> epoch of the worker stream that parented under it.
+    let mut worker_roots: BTreeMap<u64, u64> = BTreeMap::new();
+
+    for (idx, line) in events_text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = Value::parse(line).map_err(|msg| ReportError::Json { line: lineno, msg })?;
+        if v.get("ev").and_then(Value::as_str) != Some("enter") {
+            continue;
+        }
+        let Some(ev_name) = v.get("name").and_then(Value::as_str) else {
+            continue;
+        };
+        if ev_name == "procpool.worker" {
+            // A worker attempt's root span: its recorded parent is the
+            // dispatch marker sid, its tid carries the process epoch.
+            let parent = field_u64(&v, "parent", lineno)?;
+            let tid = field_u64(&v, "tid", lineno)?;
+            worker_roots.insert(parent, tid >> EPOCH_SHIFT);
+            continue;
+        }
+        let Some(marker) = ev_name.strip_prefix("procpool.") else {
+            continue;
+        };
+        if !matches!(
+            marker,
+            "dispatch" | "kill" | "reclaim" | "done" | "poison" | "replayed"
+        ) {
+            continue;
+        }
+        let shard_ix = field_u64(&v, "attr", lineno)?;
+        let shard = shards.entry(shard_ix).or_default();
+        match marker {
+            "dispatch" => {
+                let sid = field_u64(&v, "sid", lineno)?;
+                // A redispatch supersedes an attempt the supervisor never
+                // marked: the worker exited lease-busy/lease-lost and the
+                // shard went straight back to Pending.
+                if let Some(open) = shard.attempts.last_mut() {
+                    if open.outcome.is_none() {
+                        open.outcome = Some("retired");
+                    }
+                }
+                shard.attempts.push(Attempt {
+                    dispatch_sid: sid,
+                    killed: false,
+                    reclaimed: false,
+                    epoch: None,
+                    outcome: None,
+                });
+            }
+            "kill" => {
+                if let Some(open) = shard.attempts.last_mut() {
+                    open.killed = true;
+                }
+            }
+            "reclaim" => {
+                if let Some(open) = shard.attempts.last_mut() {
+                    open.reclaimed = true;
+                    if open.outcome.is_none() {
+                        open.outcome = Some(if open.killed { "killed" } else { "crashed" });
+                    }
+                }
+            }
+            "done" => {
+                shard.final_state = Some("done");
+                if let Some(open) = shard.attempts.last_mut() {
+                    if open.outcome.is_none() {
+                        open.outcome = Some("done");
+                    }
+                }
+            }
+            "poison" => {
+                shard.final_state = Some("poisoned");
+                if let Some(open) = shard.attempts.last_mut() {
+                    if open.outcome.is_none() {
+                        // No kill/reclaim preceded: the worker itself
+                        // reported the quarantine and exited cleanly.
+                        open.outcome = Some("poisoned");
+                    }
+                }
+            }
+            _ => {
+                // "replayed": settled from a previous run's WAL.
+                shard.replayed = true;
+                shard.final_state = Some("done");
+            }
+        }
+    }
+
+    let shard_docs: Vec<Value> = shards
+        .into_iter()
+        .map(|(ix, mut shard)| {
+            for attempt in &mut shard.attempts {
+                attempt.epoch = worker_roots.get(&attempt.dispatch_sid).copied();
+            }
+            let attempts: Vec<Value> = shard
+                .attempts
+                .iter()
+                .enumerate()
+                .map(|(i, a)| {
+                    Value::Obj(vec![
+                        ("attempt".to_owned(), Value::from((i + 1) as u64)),
+                        ("dispatch_sid".to_owned(), Value::from(a.dispatch_sid)),
+                        (
+                            "outcome".to_owned(),
+                            Value::from(a.outcome.unwrap_or("unresolved")),
+                        ),
+                        ("killed".to_owned(), Value::Bool(a.killed)),
+                        ("lease_reclaimed".to_owned(), Value::Bool(a.reclaimed)),
+                        (
+                            "worker_epoch".to_owned(),
+                            a.epoch.map_or(Value::Null, Value::from),
+                        ),
+                        ("stream".to_owned(), Value::Bool(a.epoch.is_some())),
+                    ])
+                })
+                .collect();
+            Value::Obj(vec![
+                ("shard".to_owned(), Value::from(ix)),
+                (
+                    "final".to_owned(),
+                    Value::from(shard.final_state.unwrap_or("unresolved")),
+                ),
+                ("replayed".to_owned(), Value::Bool(shard.replayed)),
+                ("attempts".to_owned(), Value::Arr(attempts)),
+            ])
+        })
+        .collect();
+
+    Ok(Value::Obj(vec![
+        ("run".to_owned(), Value::from(name)),
+        ("schema".to_owned(), Value::from("lori.timeline.v1")),
+        ("shards".to_owned(), Value::Arr(shard_docs)),
+    ]))
+}
+
+/// One-line terminal summary of a timeline document: shard count plus an
+/// outcome census over all attempts.
+#[must_use]
+pub fn summarize(timeline: &Value) -> String {
+    let shards = timeline
+        .get("shards")
+        .and_then(Value::as_arr)
+        .unwrap_or(&[]);
+    let mut census: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut attempts = 0usize;
+    let mut replayed = 0usize;
+    for shard in shards {
+        if shard.get("replayed").and_then(Value::as_bool) == Some(true) {
+            replayed += 1;
+        }
+        for a in shard.get("attempts").and_then(Value::as_arr).unwrap_or(&[]) {
+            attempts += 1;
+            let outcome = a.get("outcome").and_then(Value::as_str).unwrap_or("?");
+            *census.entry(outcome).or_default() += 1;
+        }
+    }
+    let mut out = format!("{} shard(s), {attempts} attempt(s)", shards.len());
+    if replayed > 0 {
+        out.push_str(&format!(" ({replayed} replayed)"));
+    }
+    if !census.is_empty() {
+        let parts: Vec<String> = census
+            .iter()
+            .map(|(outcome, n)| format!("{n} {outcome}"))
+            .collect();
+        out.push_str(&format!(": {}", parts.join(", ")));
+    }
+    out
+}
+
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn field_u64(v: &Value, field: &'static str, line: usize) -> Result<u64, ReportError> {
+    v.get(field)
+        .and_then(Value::as_f64)
+        .filter(|x| x.is_finite() && *x >= 0.0)
+        .map(|x| x as u64)
+        .ok_or(ReportError::MissingField { line, field })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn marker(name: &str, shard: u64, sid: u64) -> String {
+        format!(
+            "{{\"ev\":\"enter\",\"name\":\"procpool.{name}\",\"t_ns\":0,\"tid\":0,\
+             \"depth\":1,\"sid\":{sid},\"attr\":{shard}}}\n\
+             {{\"ev\":\"exit\",\"name\":\"procpool.{name}\",\"t_ns\":0,\"tid\":0,\
+             \"depth\":1,\"dur_ns\":0,\"sid\":{sid}}}\n"
+        )
+    }
+
+    fn worker_root(shard: u64, parent: u64, epoch: u64) -> String {
+        let tid = epoch << EPOCH_SHIFT;
+        format!(
+            "{{\"ev\":\"enter\",\"name\":\"procpool.worker\",\"t_ns\":5,\"tid\":{tid},\
+             \"depth\":0,\"sid\":{},\"parent\":{parent},\"attr\":{shard}}}\n\
+             {{\"ev\":\"exit\",\"name\":\"procpool.worker\",\"t_ns\":9,\"tid\":{tid},\
+             \"depth\":0,\"dur_ns\":4,\"sid\":{}}}\n",
+            (epoch << EPOCH_SHIFT) | 1,
+            (epoch << EPOCH_SHIFT) | 1,
+        )
+    }
+
+    fn shard_doc(timeline: &Value, ix: u64) -> &Value {
+        timeline
+            .get("shards")
+            .and_then(Value::as_arr)
+            .unwrap()
+            .iter()
+            .find(|s| s.get("shard").and_then(Value::as_f64) == Some(ix as f64))
+            .unwrap()
+    }
+
+    fn outcomes(shard: &Value) -> Vec<String> {
+        shard
+            .get("attempts")
+            .and_then(Value::as_arr)
+            .unwrap()
+            .iter()
+            .map(|a| a.get("outcome").and_then(Value::as_str).unwrap().to_owned())
+            .collect()
+    }
+
+    #[test]
+    fn clean_attempt_is_done_with_stream() {
+        let mut text = String::new();
+        text.push_str(&marker("dispatch", 0, 10));
+        text.push_str(&worker_root(0, 10, 1));
+        text.push_str(&marker("done", 0, 11));
+        let t = build_timeline("exp-unit", &text).unwrap();
+        assert_eq!(t.get("run").and_then(Value::as_str), Some("exp-unit"));
+        let shard = shard_doc(&t, 0);
+        assert_eq!(shard.get("final").and_then(Value::as_str), Some("done"));
+        assert_eq!(outcomes(shard), ["done"]);
+        let a = &shard.get("attempts").and_then(Value::as_arr).unwrap()[0];
+        assert_eq!(a.get("stream").and_then(Value::as_bool), Some(true));
+        assert_eq!(a.get("worker_epoch").and_then(Value::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn killed_then_redispatched_attempt_sequence() {
+        // Stall schedule: dispatch, SIGKILL + lease steal, redispatch, done.
+        let mut text = String::new();
+        text.push_str(&marker("dispatch", 2, 10));
+        text.push_str(&marker("kill", 2, 11));
+        text.push_str(&marker("reclaim", 2, 12));
+        text.push_str(&marker("dispatch", 2, 13));
+        text.push_str(&worker_root(2, 13, 4));
+        text.push_str(&marker("done", 2, 14));
+        let t = build_timeline("exp-unit", &text).unwrap();
+        let shard = shard_doc(&t, 2);
+        assert_eq!(outcomes(shard), ["killed", "done"]);
+        let attempts = shard.get("attempts").and_then(Value::as_arr).unwrap();
+        // The killed attempt left no stream (SIGKILL skips the rename);
+        // the retry's stream is present.
+        assert_eq!(
+            attempts[0].get("stream").and_then(Value::as_bool),
+            Some(false)
+        );
+        assert_eq!(
+            attempts[0].get("killed").and_then(Value::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            attempts[0].get("lease_reclaimed").and_then(Value::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            attempts[1].get("stream").and_then(Value::as_bool),
+            Some(true)
+        );
+        assert_eq!(shard.get("final").and_then(Value::as_str), Some("done"));
+    }
+
+    #[test]
+    fn crash_without_kill_is_crashed_and_poison_budget_exhaustion() {
+        let mut text = String::new();
+        text.push_str(&marker("dispatch", 1, 10));
+        text.push_str(&marker("reclaim", 1, 11));
+        text.push_str(&marker("dispatch", 1, 12));
+        text.push_str(&marker("reclaim", 1, 13));
+        text.push_str(&marker("poison", 1, 14));
+        let t = build_timeline("exp-unit", &text).unwrap();
+        let shard = shard_doc(&t, 1);
+        assert_eq!(outcomes(shard), ["crashed", "crashed"]);
+        assert_eq!(shard.get("final").and_then(Value::as_str), Some("poisoned"));
+    }
+
+    #[test]
+    fn superseded_attempt_without_outcome_is_retired() {
+        // Lease-busy/lease-lost exits leave no supervisor outcome marker;
+        // the next dispatch retires the open attempt.
+        let mut text = String::new();
+        text.push_str(&marker("dispatch", 0, 10));
+        text.push_str(&marker("dispatch", 0, 11));
+        text.push_str(&marker("done", 0, 12));
+        let t = build_timeline("exp-unit", &text).unwrap();
+        assert_eq!(outcomes(shard_doc(&t, 0)), ["retired", "done"]);
+    }
+
+    #[test]
+    fn replayed_shard_has_no_attempts() {
+        let text = marker("replayed", 3, 10);
+        let t = build_timeline("exp-unit", &text).unwrap();
+        let shard = shard_doc(&t, 3);
+        assert_eq!(shard.get("replayed").and_then(Value::as_bool), Some(true));
+        assert_eq!(shard.get("final").and_then(Value::as_str), Some("done"));
+        assert!(outcomes(shard).is_empty());
+    }
+
+    #[test]
+    fn open_attempt_at_eof_is_unresolved() {
+        let text = marker("dispatch", 0, 10);
+        let t = build_timeline("exp-unit", &text).unwrap();
+        let shard = shard_doc(&t, 0);
+        assert_eq!(outcomes(shard), ["unresolved"]);
+        assert_eq!(
+            shard.get("final").and_then(Value::as_str),
+            Some("unresolved")
+        );
+    }
+
+    #[test]
+    fn single_process_stream_yields_empty_timeline() {
+        let text = concat!(
+            "{\"ev\":\"enter\",\"name\":\"sweep\",\"t_ns\":0,\"tid\":0,\"depth\":0,\"sid\":1}\n",
+            "{\"ev\":\"exit\",\"name\":\"sweep\",\"t_ns\":9,\"tid\":0,\"depth\":0,\"dur_ns\":9,\"sid\":1}\n",
+        );
+        let t = build_timeline("exp-unit", text).unwrap();
+        assert!(t.get("shards").and_then(Value::as_arr).unwrap().is_empty());
+    }
+
+    #[test]
+    fn deterministic_and_timestamp_free() {
+        let mut a = String::new();
+        a.push_str(&marker("dispatch", 0, 10));
+        a.push_str(&marker("done", 0, 11));
+        // Same structure, different timestamps.
+        let b = a.replace("\"t_ns\":0", "\"t_ns\":12345");
+        let ta = build_timeline("exp-unit", &a).unwrap().to_json();
+        let tb = build_timeline("exp-unit", &b).unwrap().to_json();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn marker_missing_shard_attr_is_an_error() {
+        let text =
+            "{\"ev\":\"enter\",\"name\":\"procpool.dispatch\",\"t_ns\":0,\"tid\":0,\"depth\":1,\"sid\":10}\n";
+        let err = build_timeline("exp-unit", text).unwrap_err();
+        assert!(matches!(
+            err,
+            ReportError::MissingField {
+                line: 1,
+                field: "attr"
+            }
+        ));
+    }
+
+    #[test]
+    fn summarize_counts_outcomes() {
+        let mut text = String::new();
+        text.push_str(&marker("dispatch", 0, 10));
+        text.push_str(&marker("done", 0, 11));
+        text.push_str(&marker("dispatch", 1, 12));
+        text.push_str(&marker("kill", 1, 13));
+        text.push_str(&marker("reclaim", 1, 14));
+        text.push_str(&marker("dispatch", 1, 15));
+        text.push_str(&marker("done", 1, 16));
+        text.push_str(&marker("replayed", 2, 17));
+        let t = build_timeline("exp-unit", &text).unwrap();
+        let s = summarize(&t);
+        assert_eq!(s, "3 shard(s), 3 attempt(s) (1 replayed): 2 done, 1 killed");
+    }
+}
